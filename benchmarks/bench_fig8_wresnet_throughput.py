@@ -1,0 +1,80 @@
+"""Figure 8 — WResNet training throughput relative to the Ideal baseline.
+
+The paper compares Ideal / SmallBatch / Swap / Tofu on WResNet-50/101/152 with
+widening 4-10 (8 GPUs, 224x224 ImageNet inputs).  The shape to reproduce:
+SmallBatch fits only the smallest models and otherwise OOMs, Swap is 20%-63%
+slower than Tofu, and Tofu reaches 60%-95% of Ideal.
+"""
+
+from functools import partial
+
+from common import grid, once, print_throughput_table
+from repro.baselines.evaluation import (
+    evaluate_ideal,
+    evaluate_smallbatch,
+    evaluate_swapping,
+    evaluate_tofu,
+)
+from repro.models.resnet import build_wide_resnet
+
+GLOBAL_BATCH = 128
+SYSTEMS = ["ideal", "smallbatch", "swap", "tofu"]
+
+# Paper throughputs (samples/sec) for annotation, Figure 8.
+PAPER = {
+    "WResNet-50-4": {"ideal": 47, "smallbatch": 46, "swap": 28, "tofu": 41},
+    "WResNet-50-10": {"ideal": 6.4, "smallbatch": 0, "swap": 4.0, "tofu": 6.0},
+    "WResNet-101-4": {"ideal": 27, "smallbatch": 23, "swap": 11, "tofu": 20},
+    "WResNet-101-10": {"ideal": 3.3, "smallbatch": 0, "swap": 2.1, "tofu": 3.1},
+    "WResNet-152-4": {"ideal": 19, "smallbatch": 0, "swap": 7.7, "tofu": 11},
+    "WResNet-152-10": {"ideal": 2.3, "smallbatch": 0, "swap": 1.6, "tofu": 1.9},
+}
+
+
+def _evaluate(depth: int, widen: int):
+    def build_fn(batch_size: int):
+        return build_wide_resnet(depth=depth, widen=widen, batch_size=batch_size)
+
+    results = {}
+    results["ideal"] = evaluate_ideal(build_fn, GLOBAL_BATCH)
+    results["smallbatch"] = evaluate_smallbatch(build_fn, GLOBAL_BATCH)
+    results["swap"] = evaluate_swapping(build_fn, GLOBAL_BATCH)
+    results["tofu"] = evaluate_tofu(build_fn, GLOBAL_BATCH)
+    return results
+
+
+def bench_fig8_wresnet_throughput(benchmark):
+    depths = grid([50, 101, 152], [50, 152])
+    widths = grid([4, 6, 8, 10], [4, 10])
+
+    def run():
+        rows = {}
+        for depth in depths:
+            for widen in widths:
+                rows[f"WResNet-{depth}-{widen}"] = _evaluate(depth, widen)
+        return rows
+
+    rows = once(benchmark, run)
+    print_throughput_table(
+        "Figure 8 — WResNet throughput (samples/s, relative to Ideal)",
+        rows,
+        SYSTEMS,
+        paper=PAPER,
+    )
+
+    # Shape checks mirroring the paper's findings.
+    for config, results in rows.items():
+        tofu = results["tofu"]
+        swap = results["swap"]
+        assert not tofu.oom, f"Tofu must train {config}"
+        # For models that exceed a single GPU (SmallBatch OOMs) swapping has to
+        # stream weights over the shared host link and must lose to Tofu; for
+        # the small models that fit, our swap executor barely swaps and can be
+        # close to Ideal, so no ordering is asserted there.
+        if results["smallbatch"].oom and not swap.oom:
+            assert tofu.throughput >= swap.throughput, (
+                f"Tofu should beat swapping on {config}"
+            )
+    # The largest models cannot be trained by shrinking the batch.
+    largest = rows[[k for k in rows if k.endswith("-10")][-1]]
+    assert largest["smallbatch"].oom

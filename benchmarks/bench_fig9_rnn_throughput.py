@@ -1,0 +1,76 @@
+"""Figure 9 — RNN training throughput relative to the Ideal baseline.
+
+The paper compares Ideal / SmallBatch / Swap / Op-Placement / Tofu on stacked
+LSTMs with 6/8/10 layers and 4K/6K/8K hidden units (20 unrolled steps, 8
+GPUs).  The shape to reproduce: Tofu reaches 70%-98% of Ideal and beats every
+alternative; SmallBatch and Op-Placement run out of memory for the largest
+configurations; Swapping collapses as the weights grow because all GPUs share
+the host link.
+"""
+
+from common import grid, once, print_throughput_table
+from repro.baselines.evaluation import (
+    evaluate_ideal,
+    evaluate_opplacement,
+    evaluate_smallbatch,
+    evaluate_swapping,
+    evaluate_tofu,
+)
+from repro.models.rnn import build_rnn
+
+GLOBAL_BATCH = 512
+SYSTEMS = ["ideal", "smallbatch", "swap", "op-placement", "tofu"]
+
+PAPER = {
+    "RNN-6-4K": {"ideal": 233, "smallbatch": 130, "swap": 183, "op-placement": 107, "tofu": 210},
+    "RNN-6-8K": {"ideal": 58, "smallbatch": 0, "swap": 13, "op-placement": 24, "tofu": 57},
+    "RNN-10-4K": {"ideal": 136, "smallbatch": 0, "swap": 58, "op-placement": 59, "tofu": 122},
+    "RNN-10-8K": {"ideal": 33, "smallbatch": 0, "swap": 7.2, "op-placement": 0, "tofu": 23},
+}
+
+
+def _evaluate(layers: int, hidden: int):
+    def build_fn(batch_size: int):
+        return build_rnn(num_layers=layers, hidden_size=hidden, batch_size=batch_size)
+
+    return {
+        "ideal": evaluate_ideal(build_fn, GLOBAL_BATCH),
+        "smallbatch": evaluate_smallbatch(build_fn, GLOBAL_BATCH),
+        "swap": evaluate_swapping(build_fn, GLOBAL_BATCH),
+        "op-placement": evaluate_opplacement(build_fn, GLOBAL_BATCH),
+        "tofu": evaluate_tofu(build_fn, GLOBAL_BATCH),
+    }
+
+
+def bench_fig9_rnn_throughput(benchmark):
+    layer_grid = grid([6, 8, 10], [6, 10])
+    hidden_grid = grid([4096, 6144, 8192], [4096, 8192])
+
+    def run():
+        rows = {}
+        for layers in layer_grid:
+            for hidden in hidden_grid:
+                rows[f"RNN-{layers}-{hidden // 1024}K"] = _evaluate(layers, hidden)
+        return rows
+
+    rows = once(benchmark, run)
+    print_throughput_table(
+        "Figure 9 — RNN throughput (samples/s, relative to Ideal)",
+        rows,
+        SYSTEMS,
+        paper=PAPER,
+    )
+
+    for config, results in rows.items():
+        tofu = results["tofu"]
+        assert not tofu.oom, f"Tofu must train {config}"
+        for other in ("swap", "op-placement"):
+            rival = results[other]
+            if not rival.oom:
+                assert tofu.throughput >= rival.throughput, (
+                    f"Tofu should beat {other} on {config}"
+                )
+    # The largest configuration defeats SmallBatch (and per the paper also
+    # Op-Placement).
+    biggest = rows[[k for k in rows if k.endswith("-8K")][-1]]
+    assert biggest["smallbatch"].oom

@@ -1,0 +1,31 @@
+"""Sec 4.1 statistics — TDL operator coverage.
+
+The paper reports that TDL describes 134 of MXNet v0.11's 139 operators (77
+element-wise, 2 opaque, 11 with output reductions) and 257 of TensorFlow's 341
+operators.  This benchmark regenerates the MXNet-catalogue statistics and
+reports the coverage of this repository's own operator registry.
+"""
+
+from common import once, print_header
+from repro.ops.catalog import mxnet_catalog_counts
+from repro.tdl.registry import GLOBAL_REGISTRY
+
+
+def bench_sec41_tdl_coverage(benchmark):
+    counts = once(benchmark, mxnet_catalog_counts)
+    own = GLOBAL_REGISTRY.coverage_report()
+
+    print_header("Sec 4.1 — TDL coverage statistics")
+    print("Reconstructed MXNet v0.11 catalogue (paper: 134/139, 77 ew, 2 opaque, 11 red.):")
+    for key, value in counts.items():
+        print(f"  {key:<16}{value}")
+    print("This repository's operator registry:")
+    for key, value in own.items():
+        print(f"  {key:<16}{value}")
+
+    assert counts["total"] == 139
+    assert counts["describable"] == 134
+    assert counts["elementwise"] == 77
+    assert counts["opaque"] == 2
+    assert counts["with_reduction"] == 11
+    assert own["describable"] >= 50

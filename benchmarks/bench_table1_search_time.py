@@ -1,0 +1,100 @@
+"""Table 1 — partition-search time for 8 workers.
+
+The paper reports: the original DP is inapplicable (n/a), DP with coarsening
+but without recursion takes 8 hours (WResNet-152) / >24 hours (RNN-10), and
+the recursive search takes 8.3 s / 66.6 s.  This benchmark measures the
+recursive search directly and characterises the non-recursive search space
+(it is run to completion only on a small MLP, with its blow-up reported as a
+configuration count for the large models).
+"""
+
+import pytest
+
+from common import FULL, once, print_header
+from repro.models.mlp import build_mlp
+from repro.models.resnet import build_wide_resnet
+from repro.models.rnn import build_rnn
+from repro.partition.coarsen import coarsen
+from repro.partition.cost import CommunicationCostModel
+from repro.partition.dp import count_joint_configurations, joint_partition
+from repro.partition.recursive import recursive_partition
+
+WORKERS = 8
+
+
+def _report(name, plan, coarse, stats):
+    print(
+        f"{name:<16} recursive search: {plan.search_time_seconds:6.1f}s   "
+        f"coarsened groups: {coarse.num_op_groups():5d}   "
+        f"non-recursive configs: {stats['total_configs']:.2e} "
+        f"(max {stats['max_configs_per_group']:.0f}/group)"
+    )
+
+
+def bench_table1_wresnet152(benchmark):
+    bundle = build_wide_resnet(depth=152, widen=4, batch_size=8)
+    coarse = coarsen(bundle.graph)
+
+    plan = once(benchmark, lambda: recursive_partition(bundle.graph, WORKERS, coarse=coarse))
+    stats = count_joint_configurations(
+        coarse, CommunicationCostModel(bundle.graph), WORKERS
+    )
+    print_header("Table 1 — search time, WResNet-152 (paper: 8 hours vs 8.3 s)")
+    _report("WResNet-152", plan, coarse, stats)
+    assert plan.search_time_seconds < 300
+
+
+def bench_table1_rnn10(benchmark):
+    hidden = 4096
+    batch = 64 if not FULL else 512
+    bundle = build_rnn(num_layers=10, hidden_size=hidden, batch_size=batch)
+    coarse = coarsen(bundle.graph)
+
+    plan = once(benchmark, lambda: recursive_partition(bundle.graph, WORKERS, coarse=coarse))
+    stats = count_joint_configurations(
+        coarse, CommunicationCostModel(bundle.graph), WORKERS
+    )
+    print_header("Table 1 — search time, RNN-10 (paper: >24 hours vs 66.6 s)")
+    _report("RNN-10", plan, coarse, stats)
+    assert plan.search_time_seconds < 600
+
+
+def bench_table1_coarsening_ablation(benchmark):
+    """Without coarsening the DP has to consider each of the thousands of
+    fine-grained operators separately — the search-space blow-up the paper's
+    'Original DP: n/a' row refers to."""
+    bundle = build_rnn(num_layers=4, hidden_size=1024, batch_size=64)
+
+    def run():
+        coarse = coarsen(bundle.graph)
+        uncoarse = coarsen(
+            bundle.graph,
+            group_forward_backward=False,
+            coalesce_elementwise=False,
+            coalesce_timesteps=False,
+        )
+        return coarse, uncoarse
+
+    coarse, uncoarse = once(benchmark, run)
+    cm = CommunicationCostModel(bundle.graph)
+    with_c = count_joint_configurations(coarse, cm, WORKERS)
+    without_c = count_joint_configurations(uncoarse, cm, WORKERS)
+    print_header("Table 1 (ablation) — effect of graph coarsening on search space")
+    print(f"coarsened:   {coarse.num_op_groups():6d} groups, {with_c['total_configs']:.2e} configs")
+    print(f"uncoarsened: {uncoarse.num_op_groups():6d} groups, {without_c['total_configs']:.2e} configs")
+    assert uncoarse.num_op_groups() > coarse.num_op_groups()
+
+
+def bench_table1_joint_vs_recursive_small(benchmark):
+    """On a small MLP the non-recursive (joint) DP can actually be run; it is
+    already an order of magnitude slower while finding a plan of equal cost."""
+    bundle = build_mlp(batch_size=64, hidden_dim=512, num_layers=4)
+
+    recursive = recursive_partition(bundle.graph, WORKERS)
+    joint = once(benchmark, lambda: joint_partition(bundle.graph, WORKERS))
+    print_header("Table 1 (small-model check) — recursive vs joint DP")
+    print(
+        f"recursive: {recursive.search_time_seconds:.2f}s cost {recursive.total_comm_bytes/2**20:.1f} MiB | "
+        f"joint: {joint.search_time_seconds:.2f}s cost {joint.total_comm_bytes/2**20:.1f} MiB"
+    )
+    assert joint.total_comm_bytes <= recursive.total_comm_bytes * 1.1

@@ -1,0 +1,71 @@
+"""Table 2 — total weight-memory footprint (GB) of every benchmark model.
+
+The paper counts weight + gradient + optimiser-history memory (3x the raw
+weight size, Sec 7.1) for RNNs with 6/8/10 layers x 4K/6K/8K hidden units and
+WResNet-50/101/152 with widening 4/6/8/10.
+"""
+
+from common import once, print_header
+from repro.models.resnet import build_wide_resnet, wresnet_weight_gib
+from repro.models.rnn import build_rnn, rnn_weight_gib
+
+PAPER_RNN = {
+    (6, 4096): 8.4, (6, 6144): 18.6, (6, 8192): 33.0,
+    (8, 4096): 11.4, (8, 6144): 28.5, (8, 8192): 45.3,
+    (10, 4096): 14.4, (10, 6144): 32.1, (10, 8192): 57.0,
+}
+PAPER_WRESNET = {
+    (50, 4): 4.2, (50, 6): 9.6, (50, 8): 17.1, (50, 10): 26.7,
+    (101, 4): 7.8, (101, 6): 17.1, (101, 8): 30.6, (101, 10): 47.7,
+    (152, 4): 10.5, (152, 6): 23.4, (152, 8): 41.7, (152, 10): 65.1,
+}
+
+
+def bench_table2_weight_sizes(benchmark):
+    def compute():
+        rnn = {cfg: rnn_weight_gib(*cfg) for cfg in PAPER_RNN}
+        wresnet = {cfg: wresnet_weight_gib(*cfg) for cfg in PAPER_WRESNET}
+        return rnn, wresnet
+
+    rnn, wresnet = once(benchmark, compute)
+
+    print_header("Table 2 — total weight tensor sizes (GB), ours vs paper")
+    print("RNN (layers, hidden):")
+    for (layers, hidden), ours in sorted(rnn.items()):
+        paper = PAPER_RNN[(layers, hidden)]
+        print(f"  L={layers:<3} H={hidden:<5}  ours {ours:6.1f}  paper {paper:6.1f}")
+    print("Wide ResNet (depth, widen):")
+    for (depth, widen), ours in sorted(wresnet.items()):
+        paper = PAPER_WRESNET[(depth, widen)]
+        print(f"  L={depth:<4} W={widen:<3}  ours {ours:6.1f}  paper {paper:6.1f}")
+
+    # The quadratic/linear growth trends must match the paper's table.
+    assert rnn[(10, 4096)] > rnn[(6, 4096)]
+    assert wresnet[(152, 10)] > 4 * wresnet[(152, 4)]
+    # Values should land in the same ballpark as the paper (same accounting).
+    for cfg, paper_value in PAPER_WRESNET.items():
+        assert wresnet[cfg] == pytest_approx(paper_value, rel=0.45)
+    for cfg, paper_value in PAPER_RNN.items():
+        assert rnn[cfg] == pytest_approx(paper_value, rel=0.45)
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)
+
+
+def bench_table2_graph_weights_match_analytic(benchmark):
+    """The analytic footprint must agree with the built graphs' weight bytes."""
+
+    def build_and_measure():
+        rnn = build_rnn(num_layers=6, hidden_size=2048, batch_size=32)
+        cnn = build_wide_resnet(depth=50, widen=2, batch_size=4, image_size=64)
+        return rnn.weight_memory_bytes() / 2**30, cnn.weight_memory_bytes() / 2**30
+
+    rnn_gib, cnn_gib = once(benchmark, build_and_measure)
+    assert rnn_gib == pytest_approx(rnn_weight_gib(6, 2048), rel=0.02)
+    assert cnn_gib == pytest_approx(wresnet_weight_gib(50, 2), rel=0.05)
+    print_header("Table 2 cross-check — built graphs vs analytic accounting")
+    print(f"RNN-6-2K: graph {rnn_gib:.2f} GiB vs analytic {rnn_weight_gib(6, 2048):.2f} GiB")
+    print(f"WResNet-50-2: graph {cnn_gib:.2f} GiB vs analytic {wresnet_weight_gib(50, 2):.2f} GiB")

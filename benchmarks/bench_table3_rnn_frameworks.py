@@ -1,0 +1,61 @@
+"""Table 3 — Tofu vs operator placement on MXNet and TensorFlow (RNN, H=4K).
+
+The paper reports (samples/s): Tofu 210/154/122, MXNet op-placement 107/95/59,
+TensorFlow op-placement 50/36/30 for 6/8/10-layer RNNs with 4096 hidden units.
+TensorFlow's gap is attributed to missing in-place gradient aggregation, which
+is modelled here as an execution overhead factor on the placement executor.
+"""
+
+from common import grid, once, print_header
+from repro.baselines.evaluation import evaluate_opplacement, evaluate_tofu
+from repro.models.rnn import build_rnn
+
+GLOBAL_BATCH = 512
+HIDDEN = 4096
+
+PAPER = {
+    6: {"tofu": 210, "mxnet": 107, "tensorflow": 50},
+    8: {"tofu": 154, "mxnet": 95, "tensorflow": 36},
+    10: {"tofu": 122, "mxnet": 59, "tensorflow": 30},
+}
+
+
+def bench_table3_rnn_frameworks(benchmark):
+    layer_grid = grid([6, 8, 10], [6, 10])
+
+    def run():
+        rows = {}
+        for layers in layer_grid:
+            def build_fn(batch_size, layers=layers):
+                return build_rnn(
+                    num_layers=layers, hidden_size=HIDDEN, batch_size=batch_size
+                )
+
+            rows[layers] = {
+                "tofu": evaluate_tofu(build_fn, GLOBAL_BATCH),
+                "mxnet": evaluate_opplacement(build_fn, GLOBAL_BATCH),
+                "tensorflow": evaluate_opplacement(
+                    build_fn,
+                    GLOBAL_BATCH,
+                    overhead_factor=2.0,
+                    system_name="tf-op-placement",
+                ),
+            }
+        return rows
+
+    rows = once(benchmark, run)
+
+    print_header("Table 3 — RNN throughput (samples/s), hidden size 4096")
+    print(f"{'layers':<8}{'Tofu':>16}{'MX-OpPlacement':>18}{'TF-OpPlacement':>18}")
+    for layers, results in rows.items():
+        paper = PAPER[layers]
+        print(
+            f"{layers:<8}"
+            f"{results['tofu'].throughput:10.1f} [{paper['tofu']}]"
+            f"{results['mxnet'].throughput:12.1f} [{paper['mxnet']}]"
+            f"{results['tensorflow'].throughput:12.1f} [{paper['tensorflow']}]"
+        )
+
+    for layers, results in rows.items():
+        assert results["tofu"].throughput >= results["mxnet"].throughput
+        assert results["mxnet"].throughput >= results["tensorflow"].throughput

@@ -1,0 +1,76 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Sec 7) and prints the corresponding rows.  By default a reduced configuration
+grid is used so the whole suite completes in minutes; set ``REPRO_BENCH_FULL=1``
+to sweep every configuration the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+from repro.baselines.evaluation import SystemResult
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false", "False")
+
+
+def grid(full_values: List, reduced_values: List) -> List:
+    """Pick the full or the reduced sweep depending on ``REPRO_BENCH_FULL``."""
+    return full_values if FULL else reduced_values
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def print_throughput_table(
+    title: str,
+    rows: Dict[str, Dict[str, SystemResult]],
+    systems: List[str],
+    paper: Dict[str, Dict[str, float]] | None = None,
+) -> None:
+    """Print normalised + absolute throughputs the way Figures 8/9 report them."""
+    print_header(title)
+    header = f"{'config':<18}" + "".join(f"{s:>22}" for s in systems)
+    print(header)
+    for config, results in rows.items():
+        ideal = results.get("ideal")
+        ideal_thr = ideal.throughput if ideal else 0.0
+        cells = []
+        for system in systems:
+            result = results.get(system)
+            if result is None:
+                cells.append(f"{'-':>22}")
+                continue
+            if result.oom:
+                cell = "OOM"
+            else:
+                rel = result.normalized(ideal_thr) if ideal_thr else 0.0
+                cell = f"{result.throughput:8.1f} ({rel:4.2f}x)"
+            if paper and config in paper and system in paper[config]:
+                cell += f" [paper {paper[config][system]}]"
+            cells.append(f"{cell:>22}")
+        print(f"{config:<18}" + "".join(cells))
+
+
+def run_systems(
+    build_fn_factory: Callable[[], Callable[[int], object]],
+    global_batch: int,
+    evaluators: Dict[str, Callable],
+) -> Dict[str, SystemResult]:
+    """Run every evaluator on one model configuration."""
+    results: Dict[str, SystemResult] = {}
+    for name, evaluator in evaluators.items():
+        build_fn = build_fn_factory()
+        results[name] = evaluator(build_fn, global_batch)
+    return results
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,40 @@
+"""Benchmark-suite configuration.
+
+The benchmark harness's purpose is to print the tables and figure series the
+paper reports.  pytest captures per-test output, so the benchmarks' prints are
+additionally recorded here and replayed in the terminal summary, which ends up
+in ``bench_output.txt`` when the suite is run as
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+"""
+
+import builtins
+import sys
+from pathlib import Path
+from typing import List
+
+# Allow `import common` from benchmark modules regardless of invocation dir.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+_real_print = builtins.print
+_recorded: List[str] = []
+
+
+def _recording_print(*args, **kwargs):
+    _recorded.append(" ".join(str(a) for a in args))
+    _real_print(*args, **kwargs)
+
+
+def pytest_configure(config):
+    builtins.print = _recording_print
+
+
+def pytest_unconfigure(config):
+    builtins.print = _real_print
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _recorded:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for line in _recorded:
+        terminalreporter.write_line(line)

@@ -1,0 +1,42 @@
+"""Quickstart: describe an operator, partition a small model, simulate it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import describe_operator, partition_and_simulate, partition_graph
+from repro.models import build_mlp
+
+
+def main() -> None:
+    # 1. TDL + interval analysis: what partition-n-reduce strategies does a
+    #    2-D convolution admit?  (Sec 3.1 / 4.2 of the paper.)
+    print("== conv2d partition strategies discovered from its TDL description ==")
+    for strategy in describe_operator("conv2d"):
+        print("  ", strategy.describe())
+
+    # 2. Build a small MLP training graph (forward + backward + optimiser).
+    bundle = build_mlp(batch_size=64, input_dim=1024, hidden_dim=1024, num_layers=4)
+    graph = bundle.graph
+    print(f"\n== model: {bundle.name} ==")
+    print(f"operators: {graph.num_nodes()}, tensors: {graph.num_tensors()}")
+
+    # 3. Search a partition plan for 8 GPUs (coarsening + recursive DP).
+    plan = partition_graph(graph, num_workers=8)
+    print("\n== partition plan ==")
+    print(plan.summary())
+    for weight in bundle.weights[:4]:
+        ndim = len(graph.tensor(weight).shape)
+        print(f"  {weight}: tiled {plan.describe_tensor(weight, ndim)}")
+
+    # 4. Generate the per-device execution and simulate one training
+    #    iteration on the modelled 8-GPU machine.
+    report = partition_and_simulate(graph, num_workers=8, plan=plan)
+    print("\n== simulated execution ==")
+    print(report.summary())
+    print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Train-ability study of a very large multi-layer LSTM (the paper's RNN-8-8K).
+
+The model's weights alone exceed a single GPU's memory, so it can only be
+trained by partitioning every tensor across the 8 GPUs.  This example compares
+Tofu against the SmallBatch / Swapping / Operator-Placement alternatives the
+paper evaluates in Figure 9.
+
+Run with::
+
+    python examples/very_large_rnn.py [--layers 8] [--hidden 8192] [--batch 512]
+"""
+
+import argparse
+
+from repro.baselines import (
+    evaluate_ideal,
+    evaluate_opplacement,
+    evaluate_smallbatch,
+    evaluate_swapping,
+    evaluate_tofu,
+)
+from repro.models import build_rnn, rnn_weight_gib
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--layers", type=int, default=8)
+    parser.add_argument("--hidden", type=int, default=8192)
+    parser.add_argument("--batch", type=int, default=512)
+    args = parser.parse_args()
+
+    def build_fn(batch_size: int):
+        return build_rnn(
+            num_layers=args.layers, hidden_size=args.hidden, batch_size=batch_size
+        )
+
+    weight_gib = rnn_weight_gib(args.layers, args.hidden)
+    print(f"RNN-{args.layers}-{args.hidden // 1024}K: "
+          f"weights + gradients + optimiser state = {weight_gib:.1f} GiB "
+          f"(single GPU has 12 GiB)")
+
+    systems = {
+        "ideal (no memory limit)": evaluate_ideal,
+        "small batch": evaluate_smallbatch,
+        "swap to host memory": evaluate_swapping,
+        "operator placement": evaluate_opplacement,
+        "tofu (this paper)": evaluate_tofu,
+    }
+    print(f"\n{'system':<26}{'batch':>8}{'samples/s':>12}{'per-GPU mem':>14}{'note':>8}")
+    ideal_throughput = None
+    for name, evaluator in systems.items():
+        result = evaluator(build_fn, args.batch)
+        if ideal_throughput is None:
+            ideal_throughput = result.throughput
+        note = "OOM" if result.oom else f"{result.normalized(ideal_throughput):.0%}"
+        throughput = "-" if result.oom else f"{result.throughput:.1f}"
+        memory = "-" if result.oom else f"{result.per_device_memory_gib:.1f} GiB"
+        print(f"{name:<26}{result.batch_size:>8}{throughput:>12}{memory:>14}{note:>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Inspect the partition plan Tofu finds for a Wide ResNet (Figure 11).
+
+Shows, per convolution layer, how the weight and activation tensors are tiled
+across 8 GPUs, and how the plan shifts from fetching weights (lower layers,
+small weights / big activations) to partitioning weights (higher layers).
+
+Run with::
+
+    python examples/wresnet_partition_plan.py [--depth 152] [--widen 4]
+"""
+
+import argparse
+
+from repro.models import build_wide_resnet
+from repro.partition import recursive_partition
+from repro.partition.apply import per_node_communication
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--depth", type=int, default=50, choices=[50, 101, 152])
+    parser.add_argument("--widen", type=int, default=4)
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=8)
+    args = parser.parse_args()
+
+    bundle = build_wide_resnet(
+        depth=args.depth, widen=args.widen, batch_size=args.batch
+    )
+    graph = bundle.graph
+    print(f"model {bundle.name}: {graph.num_nodes()} operators, "
+          f"{bundle.weight_memory_bytes() / 2**30:.1f} GiB of weight state")
+
+    plan = recursive_partition(graph, args.workers)
+    print(plan.summary())
+
+    fetch, reduce_ = per_node_communication(graph, plan)
+    print(f"\n{'convolution':<22}{'weight tiling':>14}{'data tiling':>14}"
+          f"{'comm MiB':>10}")
+    for node_name in graph.metadata["forward_nodes"]:
+        node = graph.nodes[node_name]
+        if node.op != "conv2d":
+            continue
+        data, weight = node.inputs
+        comm = (fetch[node_name] + reduce_[node_name]) / 2**20
+        print(f"{node_name:<22}{plan.describe_tensor(weight, 4):>14}"
+              f"{plan.describe_tensor(data, 4):>14}{comm:>10.1f}")
+
+
+if __name__ == "__main__":
+    main()

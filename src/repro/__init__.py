@@ -1,0 +1,45 @@
+"""Tofu reproduction: automatic dataflow graph partitioning for very large DNNs.
+
+Reproduction of "Supporting Very Large Models using Automatic Dataflow Graph
+Partitioning" (Wang, Huang, Li — EuroSys 2019).  See README.md for a guided
+tour and DESIGN.md for the system inventory.
+"""
+
+import repro.ops  # noqa: F401  (registers the operator library on import)
+
+from repro.api import (
+    SimulationReport,
+    describe_operator,
+    partition_and_simulate,
+    partition_graph,
+)
+from repro.errors import (
+    GraphError,
+    NoStrategyError,
+    NonAffineError,
+    OutOfMemoryError,
+    PartitionError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+    TDLError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "GraphError",
+    "NoStrategyError",
+    "NonAffineError",
+    "OutOfMemoryError",
+    "PartitionError",
+    "ReproError",
+    "ShapeError",
+    "SimulationError",
+    "SimulationReport",
+    "TDLError",
+    "__version__",
+    "describe_operator",
+    "partition_and_simulate",
+    "partition_graph",
+]

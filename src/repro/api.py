@@ -1,0 +1,103 @@
+"""High-level public API.
+
+The functions here cover the typical workflows end to end:
+
+* :func:`describe_operator` — inspect the partition-n-reduce strategies Tofu
+  discovers for a single operator from its TDL description.
+* :func:`partition_graph` — run the full coarsening + recursive DP search on a
+  training graph and obtain a :class:`PartitionPlan`.
+* :func:`partition_and_simulate` — additionally generate the per-device
+  execution and simulate one training iteration on the modelled machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import TDLError
+from repro.graph.graph import Graph
+from repro.interval.strategies import PartitionStrategy, discover_strategies
+from repro.ops.registry import get_op
+from repro.partition.apply import PartitionedGraph, generate_partitioned_graph
+from repro.partition.plan import PartitionPlan
+from repro.partition.recursive import recursive_partition
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.engine import SimResult, TaskGraphSimulator
+from repro.tdl.registry import get_description
+
+
+def describe_operator(op_name: str) -> List[PartitionStrategy]:
+    """Partition strategies of a registered operator, from its TDL description.
+
+    Raises :class:`TDLError` if the operator has no description (e.g. the
+    undescribable operator classes listed in Sec 4.1).
+    """
+    description = get_description(op_name)
+    if description is None:
+        if get_op(op_name).elementwise:
+            description = get_op(op_name).tdl
+        if description is None:
+            raise TDLError(f"operator {op_name!r} has no TDL description")
+    return discover_strategies(description)
+
+
+def partition_graph(
+    graph: Graph,
+    num_workers: int,
+    *,
+    allow_reduction: bool = True,
+) -> PartitionPlan:
+    """Find a minimum-communication partition plan for ``num_workers`` GPUs."""
+    return recursive_partition(graph, num_workers, allow_reduction=allow_reduction)
+
+
+@dataclass
+class SimulationReport:
+    """Plan, generated execution, and simulated timing for one graph."""
+
+    plan: PartitionPlan
+    partitioned: PartitionedGraph
+    result: SimResult
+
+    def throughput(self, batch_size: int) -> float:
+        return self.result.throughput(batch_size)
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                self.plan.summary(),
+                self.partitioned.summary(),
+                f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
+                f"comm fraction: {self.result.comm_fraction():.1%}, "
+                f"oom: {self.result.oom}",
+            ]
+        )
+
+
+def partition_and_simulate(
+    graph: Graph,
+    num_workers: int = 8,
+    machine: Optional[MachineSpec] = None,
+    *,
+    plan: Optional[PartitionPlan] = None,
+    fuse_remote_fetch: bool = True,
+    add_control_dependencies: bool = True,
+    spread_reduction: bool = True,
+) -> SimulationReport:
+    """Partition ``graph``, generate the per-device execution and simulate it."""
+    machine = machine or k80_8gpu_machine(num_workers)
+    if plan is None:
+        plan = recursive_partition(graph, num_workers)
+    partitioned = generate_partitioned_graph(
+        graph,
+        plan,
+        machine,
+        fuse_remote_fetch=fuse_remote_fetch,
+        add_control_dependencies=add_control_dependencies,
+        spread_reduction=spread_reduction,
+    )
+    result = TaskGraphSimulator(machine).run(
+        partitioned.tasks, peak_memory=partitioned.per_device_memory
+    )
+    return SimulationReport(plan=plan, partitioned=partitioned, result=result)

@@ -1,0 +1,35 @@
+"""Baselines and alternative systems compared against Tofu (Sec 7)."""
+
+from repro.baselines.evaluation import (
+    EVALUATORS,
+    SystemResult,
+    evaluate_ideal,
+    evaluate_opplacement,
+    evaluate_smallbatch,
+    evaluate_swapping,
+    evaluate_tofu,
+)
+from repro.baselines.partition_algos import (
+    ALGORITHMS,
+    allrow_greedy_plan,
+    equalchop_plan,
+    icml18_plan,
+    spartan_plan,
+    tofu_plan,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "EVALUATORS",
+    "SystemResult",
+    "allrow_greedy_plan",
+    "equalchop_plan",
+    "evaluate_ideal",
+    "evaluate_opplacement",
+    "evaluate_smallbatch",
+    "evaluate_swapping",
+    "evaluate_tofu",
+    "icml18_plan",
+    "spartan_plan",
+    "tofu_plan",
+]

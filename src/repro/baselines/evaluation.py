@@ -1,0 +1,374 @@
+"""End-to-end evaluation of the systems compared in Sec 7.
+
+Every evaluator takes a ``build_fn(batch_size) -> ModelBundle`` so it can pick
+its own batch size the way the paper does: the Ideal baseline uses the batch
+that saturates a GPU regardless of memory, while SmallBatch / Op-Placement /
+Tofu use the largest batch that fits (Sec 7.1, "Baseline and Alternatives").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.graph.memory_planner import plan_memory
+from repro.models.layers import ModelBundle
+from repro.partition.apply import generate_partitioned_graph
+from repro.partition.plan import PartitionPlan
+from repro.partition.recursive import recursive_partition
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.engine import TaskGraphSimulator
+from repro.sim.swap import simulate_with_swapping
+from repro.sim.tasks import placement_tasks, single_device_tasks
+
+BuildFn = Callable[[int], ModelBundle]
+GiB = 1 << 30
+
+
+@dataclass
+class SystemResult:
+    """Throughput of one system on one model configuration."""
+
+    system: str
+    model: str
+    batch_size: int
+    iteration_time: float
+    throughput: float
+    oom: bool = False
+    comm_fraction: float = 0.0
+    per_device_memory_gib: float = 0.0
+    notes: str = ""
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def normalized(self, ideal_throughput: float) -> float:
+        if ideal_throughput <= 0:
+            return 0.0
+        return self.throughput / ideal_throughput
+
+
+def _round_down_pow2(value: float) -> int:
+    result = 1
+    while result * 2 <= value:
+        result *= 2
+    return result if value >= 1 else 0
+
+
+def _estimate_max_batch(
+    probe_batch: int, persistent: float, pool: float, capacity: float
+) -> int:
+    """Largest batch whose (persistent + batch-scaled pool) fits ``capacity``."""
+    if persistent >= capacity:
+        return 0
+    if pool <= 0:
+        return probe_batch
+    scale = (capacity - persistent) / pool
+    return _round_down_pow2(probe_batch * scale)
+
+
+# ---------------------------------------------------------------------------
+# Ideal
+# ---------------------------------------------------------------------------
+def evaluate_ideal(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+) -> SystemResult:
+    """Hypothetical baseline: each GPU has infinite memory, no communication.
+
+    Single-GPU throughput on its share of the batch, multiplied by the number
+    of GPUs (Sec 7.1).
+    """
+    machine = machine or k80_8gpu_machine()
+    num = machine.num_devices
+    per_gpu_batch = max(1, global_batch // num)
+    bundle = build_fn(per_gpu_batch)
+    tasks = single_device_tasks(bundle.graph, machine)
+    result = TaskGraphSimulator(machine).run(tasks, check_memory=False)
+    throughput = num * per_gpu_batch / result.iteration_time
+    return SystemResult(
+        system="ideal",
+        model=bundle.name,
+        batch_size=per_gpu_batch * num,
+        iteration_time=result.iteration_time,
+        throughput=throughput,
+        per_device_memory_gib=plan_memory(bundle.graph).peak_bytes / GiB,
+        notes="memory limit ignored",
+    )
+
+
+# ---------------------------------------------------------------------------
+# SmallBatch
+# ---------------------------------------------------------------------------
+def evaluate_smallbatch(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+) -> SystemResult:
+    """Fit the whole model on one GPU by shrinking the mini-batch."""
+    machine = machine or k80_8gpu_machine()
+    num = machine.num_devices
+    capacity = machine.device(0).memory_bytes
+    probe_batch = max(1, global_batch // num)
+    bundle = build_fn(probe_batch)
+    plan = plan_memory(bundle.graph)
+    batch = _estimate_max_batch(
+        probe_batch, plan.persistent_bytes, plan.pool_bytes, capacity
+    )
+    batch = min(batch, probe_batch)
+    while batch >= 1:
+        bundle = build_fn(batch)
+        plan = plan_memory(bundle.graph)
+        if plan.peak_bytes <= capacity:
+            break
+        batch //= 2
+    if batch < 1:
+        return SystemResult(
+            system="smallbatch",
+            model=bundle.name,
+            batch_size=0,
+            iteration_time=float("inf"),
+            throughput=0.0,
+            oom=True,
+            notes="model weights exceed single-GPU memory at any batch size",
+        )
+    tasks = single_device_tasks(bundle.graph, machine)
+    result = TaskGraphSimulator(machine).run(tasks, check_memory=False)
+    throughput = num * batch / result.iteration_time
+    return SystemResult(
+        system="smallbatch",
+        model=bundle.name,
+        batch_size=batch * num,
+        iteration_time=result.iteration_time,
+        throughput=throughput,
+        per_device_memory_gib=plan.peak_bytes / GiB,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Swapping
+# ---------------------------------------------------------------------------
+def evaluate_swapping(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+) -> SystemResult:
+    """LRU swapping with prefetch; all GPUs share the host link (Sec 7.1)."""
+    machine = machine or k80_8gpu_machine()
+    num = machine.num_devices
+    per_gpu_batch = max(1, global_batch // num)
+    bundle = build_fn(per_gpu_batch)
+    result = simulate_with_swapping(bundle.graph, machine, concurrent_gpus=num)
+    throughput = (
+        0.0 if result.oom else num * per_gpu_batch / result.iteration_time
+    )
+    comm_fraction = 0.0
+    if result.iteration_time > 0 and not result.oom:
+        comm_fraction = min(
+            1.0, max(0.0, 1.0 - result.compute_time / result.iteration_time)
+        )
+    return SystemResult(
+        system="swap",
+        model=bundle.name,
+        batch_size=per_gpu_batch * num,
+        iteration_time=result.iteration_time,
+        throughput=throughput,
+        oom=result.oom,
+        comm_fraction=comm_fraction,
+        extras={
+            "swapped_in_gib": result.swapped_in_bytes / GiB,
+            "swapped_out_gib": result.swapped_out_bytes / GiB,
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Operator placement
+# ---------------------------------------------------------------------------
+def _device_of_all_nodes(bundle: ModelBundle, num_devices: int) -> Dict[str, int]:
+    """Round-robin layers across devices; backward/optimiser nodes follow
+    their forward layer (Sec 7.1)."""
+    graph = bundle.graph
+    layer_of_node = dict(bundle.layer_of_node)
+    bwd_nodes_of = graph.metadata.get("bwd_nodes_of", {})
+    for fwd, bwds in bwd_nodes_of.items():
+        layer = layer_of_node.get(fwd, 0)
+        for bwd in bwds:
+            layer_of_node.setdefault(bwd, layer)
+    optimizer_nodes_of = graph.metadata.get("optimizer_nodes_of", {})
+    for weight, nodes in optimizer_nodes_of.items():
+        consumers = graph.consumers_of(weight)
+        layer = 0
+        for consumer in consumers:
+            if consumer.name in layer_of_node:
+                layer = layer_of_node[consumer.name]
+                break
+        for node in nodes:
+            layer_of_node.setdefault(node, layer)
+    return {
+        node: layer_of_node.get(node, 0) % num_devices for node in graph.nodes
+    }
+
+
+def evaluate_opplacement(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    overhead_factor: float = 1.0,
+    system_name: str = "op-placement",
+) -> SystemResult:
+    """Layer-wise operator placement with pipelined execution.
+
+    ``overhead_factor > 1`` models frameworks without in-place gradient
+    aggregation (the TensorFlow comparison of Table 3): every kernel pays the
+    extra memory traffic of materialising aggregation buffers.
+    """
+    machine = machine or k80_8gpu_machine()
+    num = machine.num_devices
+    capacity = machine.device(0).memory_bytes
+
+    # Probe at a small batch to estimate how per-device memory scales, then
+    # evaluate only the candidate batch sizes that might fit.
+    probe_batch = min(global_batch, max(num, 8))
+    probe = build_fn(probe_batch)
+    probe_memory = max(
+        placement_tasks(probe.graph, machine, _device_of_all_nodes(probe, num))[1].values(),
+        default=0,
+    )
+    persistent = 3.0 * probe.weight_bytes() / num
+    activation = max(0.0, probe_memory - persistent)
+    batch = min(
+        global_batch,
+        max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
+    )
+
+    while batch >= 1:
+        bundle = build_fn(batch)
+        device_of_node = _device_of_all_nodes(bundle, num)
+        tasks, memory = placement_tasks(bundle.graph, machine, device_of_node)
+        if overhead_factor != 1.0:
+            for task in tasks.values():
+                task.duration *= overhead_factor
+            memory = {d: int(m * min(overhead_factor, 1.5)) for d, m in memory.items()}
+        if max(memory.values(), default=0) <= capacity:
+            result = TaskGraphSimulator(machine).run(tasks, peak_memory=memory)
+            throughput = batch / result.iteration_time
+            return SystemResult(
+                system=system_name,
+                model=bundle.name,
+                batch_size=batch,
+                iteration_time=result.iteration_time,
+                throughput=throughput,
+                comm_fraction=result.comm_fraction(),
+                per_device_memory_gib=max(memory.values()) / GiB,
+            )
+        batch //= 2
+    return SystemResult(
+        system=system_name,
+        model=build_fn(probe_batch).name,
+        batch_size=0,
+        iteration_time=float("inf"),
+        throughput=0.0,
+        oom=True,
+        notes="per-device layer weights exceed GPU memory at any batch size",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tofu
+# ---------------------------------------------------------------------------
+def evaluate_tofu(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    plan_fn: Optional[Callable[[ModelBundle, int], PartitionPlan]] = None,
+    system_name: str = "tofu",
+    fuse_remote_fetch: bool = True,
+    add_control_dependencies: bool = True,
+    spread_reduction: bool = True,
+) -> SystemResult:
+    """Partition the graph across all GPUs with Tofu and simulate it.
+
+    ``plan_fn`` can substitute one of the alternative partition algorithms
+    (Figure 10); the default is the recursive search.
+    """
+    machine = machine or k80_8gpu_machine()
+    num = machine.num_devices
+    capacity = machine.device(0).memory_bytes
+    if plan_fn is None:
+        plan_fn = lambda bundle, workers: recursive_partition(bundle.graph, workers)
+
+    # Probe at a small batch to estimate how the per-device footprint scales
+    # with batch size, then evaluate only plausible batch sizes.
+    probe_batch = min(global_batch, max(num, 8))
+    probe = build_fn(probe_batch)
+    probe_plan = plan_fn(probe, num)
+    probe_dist = generate_partitioned_graph(
+        probe.graph,
+        probe_plan,
+        machine,
+        fuse_remote_fetch=fuse_remote_fetch,
+        add_control_dependencies=add_control_dependencies,
+        spread_reduction=spread_reduction,
+    )
+    persistent = 3.0 * probe.weight_bytes() / num
+    activation = max(0.0, probe_dist.per_device_peak_bytes - persistent)
+    batch = min(
+        global_batch,
+        max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
+    )
+
+    last_bundle: Optional[ModelBundle] = None
+    while batch >= 1:
+        bundle = build_fn(batch)
+        last_bundle = bundle
+        plan = plan_fn(bundle, num)
+        dist = generate_partitioned_graph(
+            bundle.graph,
+            plan,
+            machine,
+            fuse_remote_fetch=fuse_remote_fetch,
+            add_control_dependencies=add_control_dependencies,
+            spread_reduction=spread_reduction,
+        )
+        peak = dist.per_device_peak_bytes
+        if peak <= capacity:
+            result = TaskGraphSimulator(machine).run(
+                dist.tasks, peak_memory=dist.per_device_memory
+            )
+            throughput = batch / result.iteration_time
+            return SystemResult(
+                system=system_name,
+                model=bundle.name,
+                batch_size=batch,
+                iteration_time=result.iteration_time,
+                throughput=throughput,
+                oom=result.oom,
+                comm_fraction=result.comm_fraction(),
+                per_device_memory_gib=peak / GiB,
+                extras={
+                    "comm_gib_per_iter": dist.total_comm_bytes / GiB,
+                    "search_time_s": plan.search_time_seconds,
+                },
+            )
+        batch //= 2
+    assert last_bundle is not None
+    return SystemResult(
+        system=system_name,
+        model=last_bundle.name,
+        batch_size=0,
+        iteration_time=float("inf"),
+        throughput=0.0,
+        oom=True,
+        notes="partitioned model exceeds aggregate GPU memory",
+    )
+
+
+EVALUATORS = {
+    "ideal": evaluate_ideal,
+    "smallbatch": evaluate_smallbatch,
+    "swap": evaluate_swapping,
+    "op-placement": evaluate_opplacement,
+    "tofu": evaluate_tofu,
+}

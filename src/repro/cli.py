@@ -1,0 +1,115 @@
+"""Command-line interface.
+
+Examples::
+
+    tofu-repro describe conv2d
+    tofu-repro partition --model wresnet --depth 50 --widen 4 --batch 32 --workers 8
+    tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 --workers 8
+    tofu-repro coverage
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.api import describe_operator, partition_and_simulate, partition_graph
+from repro.models.mlp import build_mlp
+from repro.models.resnet import build_wide_resnet
+from repro.models.rnn import build_rnn
+from repro.ops.catalog import mxnet_catalog_counts
+from repro.tdl.registry import GLOBAL_REGISTRY
+
+
+def _build_model(args) -> "ModelBundle":
+    if args.model == "mlp":
+        return build_mlp(
+            batch_size=args.batch, hidden_dim=args.hidden, num_layers=args.layers
+        )
+    if args.model == "rnn":
+        return build_rnn(
+            batch_size=args.batch, hidden_size=args.hidden, num_layers=args.layers
+        )
+    if args.model == "wresnet":
+        return build_wide_resnet(
+            depth=args.depth, widen=args.widen, batch_size=args.batch
+        )
+    raise SystemExit(f"unknown model {args.model!r}")
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", choices=["mlp", "rnn", "wresnet"], default="mlp")
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--hidden", type=int, default=1024)
+    parser.add_argument("--layers", type=int, default=3)
+    parser.add_argument("--depth", type=int, default=50)
+    parser.add_argument("--widen", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=8)
+
+
+def cmd_describe(args) -> int:
+    strategies = describe_operator(args.operator)
+    print(f"{args.operator}: {len(strategies)} partition-n-reduce strategies")
+    for strategy in strategies:
+        print(" ", strategy.describe())
+    return 0
+
+
+def cmd_partition(args) -> int:
+    bundle = _build_model(args)
+    plan = partition_graph(bundle.graph, args.workers)
+    print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
+    print(plan.summary())
+    for weight in bundle.weights[:10]:
+        ndim = len(bundle.graph.tensor(weight).shape)
+        print(f"  {weight}: {plan.describe_tensor(weight, ndim)}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    bundle = _build_model(args)
+    report = partition_and_simulate(bundle.graph, args.workers)
+    print(f"model: {bundle.name}")
+    print(report.summary())
+    print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
+    return 0
+
+
+def cmd_coverage(args) -> int:
+    own = GLOBAL_REGISTRY.coverage_report()
+    mxnet = mxnet_catalog_counts()
+    print("TDL coverage (this repository's operator library):")
+    for key, value in own.items():
+        print(f"  {key}: {value}")
+    print("TDL coverage (reconstructed MXNet v0.11 catalogue, Sec 4.1):")
+    for key, value in mxnet.items():
+        print(f"  {key}: {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="tofu-repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_describe = sub.add_parser("describe", help="show an operator's strategies")
+    p_describe.add_argument("operator")
+    p_describe.set_defaults(func=cmd_describe)
+
+    p_partition = sub.add_parser("partition", help="search a partition plan")
+    _add_model_args(p_partition)
+    p_partition.set_defaults(func=cmd_partition)
+
+    p_simulate = sub.add_parser("simulate", help="partition and simulate a model")
+    _add_model_args(p_simulate)
+    p_simulate.set_defaults(func=cmd_simulate)
+
+    p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
+    p_coverage.set_defaults(func=cmd_coverage)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

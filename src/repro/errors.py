@@ -1,0 +1,62 @@
+"""Exception hierarchy shared across the Tofu reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can catch library failures without accidentally swallowing programming errors
+such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed dataflow graphs (dangling tensors, cycles, ...)."""
+
+
+class ShapeError(GraphError):
+    """Raised when operator shape inference fails or shapes are inconsistent."""
+
+
+class UnknownOperatorError(GraphError):
+    """Raised when a node references an operator that is not registered."""
+
+
+class TDLError(ReproError):
+    """Raised for malformed TDL descriptions."""
+
+
+class NonAffineError(TDLError):
+    """Raised when symbolic interval analysis encounters a non-affine index
+    expression (e.g. the product of two index variables), mirroring the error
+    described in Figure 4 of the paper."""
+
+
+class OpaqueOperatorError(TDLError):
+    """Raised when an analysis requires the body of an opaque TDL function."""
+
+
+class PartitionError(ReproError):
+    """Raised when a partition plan cannot be constructed or applied."""
+
+
+class NoStrategyError(PartitionError):
+    """Raised when an operator has no viable partition-n-reduce strategy."""
+
+
+class SimulationError(ReproError):
+    """Raised for malformed simulator inputs."""
+
+
+class OutOfMemoryError(SimulationError):
+    """Raised (or recorded) when a simulated device exceeds its memory capacity."""
+
+    def __init__(self, device: str, required: int, capacity: int):
+        super().__init__(
+            f"device {device} requires {required} bytes but only has {capacity}"
+        )
+        self.device = device
+        self.required = required
+        self.capacity = capacity

@@ -1,0 +1,72 @@
+"""Execution-order scheduling and tensor liveness analysis.
+
+The memory planner (Sec 6 of the paper) needs a concrete execution order and
+tensor lifetimes to reuse buffers; the swapping baseline needs the same
+information to decide what to evict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+
+
+def topo_schedule(graph: Graph) -> List[str]:
+    """A deterministic topological execution order (node names)."""
+    return [node.name for node in graph.topo_order()]
+
+
+def liveness(
+    graph: Graph, schedule: Optional[List[str]] = None
+) -> Dict[str, Tuple[int, int]]:
+    """Compute the live interval of every tensor under ``schedule``.
+
+    Returns a mapping ``tensor name -> (birth, death)`` where ``birth`` is the
+    schedule index at which the tensor is produced (or -1 for graph inputs)
+    and ``death`` is the index of its last consumer (or ``len(schedule)`` for
+    graph outputs and persistent tensors, which must stay alive until the end
+    of the iteration).
+    """
+    if schedule is None:
+        schedule = topo_schedule(graph)
+    position = {name: i for i, name in enumerate(schedule)}
+    horizon = len(schedule)
+
+    intervals: Dict[str, Tuple[int, int]] = {}
+    for name, spec in graph.tensors.items():
+        birth = position[spec.producer] if spec.producer is not None else -1
+        consumers = graph.consumers_of(name)
+        if consumers:
+            death = max(position[c.name] for c in consumers)
+        else:
+            death = horizon
+        if spec.is_persistent() or spec.kind == "output":
+            death = horizon
+        intervals[name] = (birth, death)
+    return intervals
+
+
+def peak_live_bytes(
+    graph: Graph, schedule: Optional[List[str]] = None
+) -> int:
+    """Peak sum of live tensor sizes over the schedule (no buffer reuse).
+
+    This is an upper bound used as a sanity check against the memory planner,
+    which should never plan *more* than this.
+    """
+    if schedule is None:
+        schedule = topo_schedule(graph)
+    intervals = liveness(graph, schedule)
+    events: List[Tuple[int, int]] = []
+    for name, (birth, death) in intervals.items():
+        size = graph.tensor(name).size_bytes()
+        events.append((birth, size))
+        events.append((death + 1, -size))
+    events.sort()
+    peak = 0
+    current = 0
+    for _, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak

@@ -1,0 +1,74 @@
+"""Whole-graph shape checking.
+
+Graphs built through :class:`GraphBuilder` already carry inferred shapes; this
+pass re-runs shape inference over a finished graph and verifies that the
+recorded tensor shapes are consistent, which guards against manual graph
+surgery (e.g. by tests or by the partitioned-graph generator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import ShapeError
+from repro.graph.graph import Graph
+from repro.ops.registry import get_op
+
+
+def check_shapes(graph: Graph) -> Dict[str, Tuple[int, ...]]:
+    """Re-infer every node's output shapes and compare with the graph.
+
+    Returns the mapping of tensor name to shape on success and raises
+    :class:`ShapeError` on the first inconsistency.
+    """
+    shapes: Dict[str, Tuple[int, ...]] = {
+        name: spec.shape for name, spec in graph.tensors.items()
+    }
+    for node in graph.topo_order():
+        opdef = get_op(node.op)
+        input_shapes = [shapes[t] for t in node.inputs]
+        inferred = opdef.output_shapes(input_shapes, node.attrs)
+        if len(inferred) != len(node.outputs):
+            raise ShapeError(
+                f"node {node.name!r} ({node.op}) produced {len(inferred)} shapes "
+                f"but has {len(node.outputs)} outputs"
+            )
+        for tensor_name, shape in zip(node.outputs, inferred):
+            recorded = shapes[tensor_name]
+            if tuple(shape) != tuple(recorded):
+                raise ShapeError(
+                    f"tensor {tensor_name!r}: recorded shape {recorded} does not "
+                    f"match re-inferred shape {tuple(shape)} for node {node.name!r}"
+                )
+    return shapes
+
+
+def graph_flops(graph: Graph) -> float:
+    """Total forward+backward FLOPs of the graph (one iteration)."""
+    total = 0.0
+    for node in graph.nodes.values():
+        opdef = get_op(node.op)
+        input_shapes = [graph.tensor(t).shape for t in node.inputs]
+        output_shapes = [graph.tensor(t).shape for t in node.outputs]
+        total += opdef.flop_count(input_shapes, output_shapes, node.attrs)
+    return total
+
+
+def node_flops(graph: Graph, node_name: str) -> float:
+    """FLOPs of one node."""
+    node = graph.node(node_name)
+    opdef = get_op(node.op)
+    input_shapes = [graph.tensor(t).shape for t in node.inputs]
+    output_shapes = [graph.tensor(t).shape for t in node.outputs]
+    return opdef.flop_count(input_shapes, output_shapes, node.attrs)
+
+
+def node_bytes(graph: Graph, node_name: str) -> float:
+    """Bytes touched by one node (inputs + outputs), for roofline modelling."""
+    node = graph.node(node_name)
+    total = 0
+    for t in node.inputs:
+        total += graph.tensor(t).size_bytes()
+    for t in node.outputs:
+        total += graph.tensor(t).size_bytes()
+    return float(total)

@@ -1,0 +1,167 @@
+"""Symbolic interval arithmetic in the affine abstract domain (Sec 4.2).
+
+An interval endpoint is an affine expression over the symbolic extents of the
+operator's index variables::
+
+    I = [ sum_i l_i * X_i + c_low ,  sum_i u_i * X_i + c_high ]
+
+which is exactly the representation of Equation (1) in the paper.  Figure 4's
+arithmetic rules are implemented verbatim: adding/subtracting scalars or other
+intervals and scaling by scalars are supported; multiplying or comparing two
+symbolic intervals raises :class:`NonAffineError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Union
+
+from repro.errors import NonAffineError
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """An affine combination of symbolic extents plus a constant."""
+
+    coeffs: Dict[str, float] = field(default_factory=dict)
+    const: float = 0.0
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def constant(value: Number) -> "AffineExpr":
+        return AffineExpr({}, float(value))
+
+    @staticmethod
+    def symbol(name: str, coeff: float = 1.0) -> "AffineExpr":
+        return AffineExpr({name: float(coeff)}, 0.0)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        other = _coerce(other)
+        coeffs = dict(self.coeffs)
+        for sym, c in other.coeffs.items():
+            coeffs[sym] = coeffs.get(sym, 0.0) + c
+        return AffineExpr(_prune(coeffs), self.const + other.const)
+
+    def __sub__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        other = _coerce(other)
+        coeffs = dict(self.coeffs)
+        for sym, c in other.coeffs.items():
+            coeffs[sym] = coeffs.get(sym, 0.0) - c
+        return AffineExpr(_prune(coeffs), self.const - other.const)
+
+    def scale(self, k: Number) -> "AffineExpr":
+        k = float(k)
+        return AffineExpr(
+            _prune({sym: c * k for sym, c in self.coeffs.items()}), self.const * k
+        )
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def symbols(self) -> frozenset:
+        return frozenset(self.coeffs)
+
+    # ------------------------------------------------------------ evaluation
+    def evaluate(self, extents: Mapping[str, float]) -> float:
+        """Substitute concrete extents for every symbol."""
+        value = self.const
+        for sym, coeff in self.coeffs.items():
+            if sym not in extents:
+                raise KeyError(f"no concrete extent provided for symbol {sym!r}")
+            value += coeff * float(extents[sym])
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        terms = [f"{c:g}*{s}" for s, c in sorted(self.coeffs.items())]
+        terms.append(f"{self.const:g}")
+        return " + ".join(terms)
+
+
+def _coerce(value: Union[AffineExpr, Number]) -> AffineExpr:
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, (int, float)):
+        return AffineExpr.constant(value)
+    raise NonAffineError(f"cannot use {value!r} in affine arithmetic")
+
+
+def _prune(coeffs: Dict[str, float]) -> Dict[str, float]:
+    return {s: c for s, c in coeffs.items() if c != 0.0}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A symbolic interval ``[low, high]`` with affine endpoints."""
+
+    low: AffineExpr
+    high: AffineExpr
+
+    # ------------------------------------------------------------- factories
+    @staticmethod
+    def for_variable(extent_symbol: str) -> "Interval":
+        """The default interval of an index variable: ``[0, X]``."""
+        return Interval(AffineExpr.constant(0.0), AffineExpr.symbol(extent_symbol))
+
+    @staticmethod
+    def point(value: Number) -> "Interval":
+        expr = AffineExpr.constant(value)
+        return Interval(expr, expr)
+
+    # ------------------------------------------------------------ arithmetic
+    def __add__(self, other: Union["Interval", Number]) -> "Interval":
+        if isinstance(other, Interval):
+            return Interval(self.low + other.low, self.high + other.high)
+        return Interval(self.low + other, self.high + other)
+
+    def __sub__(self, other: Union["Interval", Number]) -> "Interval":
+        if isinstance(other, Interval):
+            # [a,b] - [c,d] = [a-d, b-c]
+            return Interval(self.low - other.high, self.high - other.low)
+        return Interval(self.low - other, self.high - other)
+
+    def scale(self, k: Number) -> "Interval":
+        k = float(k)
+        if k >= 0:
+            return Interval(self.low.scale(k), self.high.scale(k))
+        return Interval(self.high.scale(k), self.low.scale(k))
+
+    def multiply(self, other: "Interval") -> "Interval":
+        """Interval product, allowed only when one side is a constant point."""
+        if other.is_constant_point():
+            return self.scale(other.low.const)
+        if self.is_constant_point():
+            return other.scale(self.low.const)
+        raise NonAffineError(
+            "product of two symbolic intervals is not affine (Figure 4)"
+        )
+
+    def divide(self, other: "Interval") -> "Interval":
+        if not other.is_constant_point() or other.low.const == 0:
+            raise NonAffineError("division requires a non-zero constant divisor")
+        return self.scale(1.0 / other.low.const)
+
+    # --------------------------------------------------------------- queries
+    def is_constant_point(self) -> bool:
+        return (
+            self.low.is_constant()
+            and self.high.is_constant()
+            and self.low.const == self.high.const
+        )
+
+    def symbols(self) -> frozenset:
+        return self.low.symbols() | self.high.symbols()
+
+    def evaluate(self, extents: Mapping[str, float]):
+        """Concrete ``(low, high)`` endpoints for the given extents."""
+        return self.low.evaluate(extents), self.high.evaluate(extents)
+
+    def length(self, extents: Mapping[str, float]) -> float:
+        """Concrete length ``high - low`` for the given extents."""
+        low, high = self.evaluate(extents)
+        return max(0.0, high - low)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.low!r}, {self.high!r}]"

@@ -1,0 +1,19 @@
+"""Model zoo: the DNN benchmarks of the paper's evaluation (Sec 7.1)."""
+
+from repro.models.layers import ModelBundle, conv_bn_relu, dense_layer, lstm_cell
+from repro.models.mlp import build_mlp
+from repro.models.resnet import WRESNET_BLOCKS, build_wide_resnet, wresnet_weight_gib
+from repro.models.rnn import build_rnn, rnn_weight_gib
+
+__all__ = [
+    "ModelBundle",
+    "WRESNET_BLOCKS",
+    "build_mlp",
+    "build_rnn",
+    "build_wide_resnet",
+    "conv_bn_relu",
+    "dense_layer",
+    "lstm_cell",
+    "rnn_weight_gib",
+    "wresnet_weight_gib",
+]

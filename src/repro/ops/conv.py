@@ -1,0 +1,212 @@
+"""2-D convolution operators (the workhorse of Wide ResNet).
+
+Data layout is NCHW; weights are [Cout, Cin, Kh, Kw].  Forward and both
+backward convolutions get their own TDL descriptions because their access
+patterns differ — in particular ``conv2d_backward_weight`` reduces over the
+batch and spatial dimensions, which is exactly the output-reduction strategy
+that the paper shows ICML18 misses (Sec 7.3).
+
+The TDL descriptions describe the stride-1 access pattern; stride and padding
+only rescale the halo constants and do not change which dimension follows
+which partition axis, so strategy discovery is unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import Sum, op as tdl_op
+from repro.ops.registry import num_elements, register_op
+
+
+# --------------------------------------------------------------------------
+# TDL descriptions
+# --------------------------------------------------------------------------
+@tdl_op(name="conv2d")
+def _conv2d_tdl(data, weight):
+    return lambda n, co, y, x: Sum(
+        lambda ci, ky, kx: data[n, ci, y + ky, x + kx] * weight[co, ci, ky, kx]
+    )
+
+
+@tdl_op(name="conv2d_backward_data")
+def _conv2d_backward_data_tdl(out_grad, weight):
+    return lambda n, ci, y, x: Sum(
+        lambda co, ky, kx: out_grad[n, co, y + ky, x + kx] * weight[co, ci, ky, kx]
+    )
+
+
+@tdl_op(name="conv2d_backward_weight")
+def _conv2d_backward_weight_tdl(data, out_grad):
+    return lambda co, ci, ky, kx: Sum(
+        lambda n, y, x: data[n, ci, y + ky, x + kx] * out_grad[n, co, y, x]
+    )
+
+
+@tdl_op(name="bias_add4d")
+def _bias_add4d_tdl(data, bias):
+    return lambda n, c, y, x: data[n, c, y, x] + bias[c]
+
+
+@tdl_op(name="bias_add")
+def _bias_add_tdl(data, bias):
+    return lambda n, c: data[n, c] + bias[c]
+
+
+# --------------------------------------------------------------------------
+# Shape inference
+# --------------------------------------------------------------------------
+def _conv_out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"convolution output size is non-positive "
+            f"(size={size}, kernel={kernel}, stride={stride}, pad={pad})"
+        )
+    return out
+
+
+def _conv2d_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data, weight = input_shapes
+    if len(data) != 4 or len(weight) != 4:
+        raise ShapeError(f"conv2d expects 4-D data and weight, got {data}, {weight}")
+    n, cin, h, w = data
+    cout, wcin, kh, kw = weight
+    if cin != wcin:
+        raise ShapeError(f"conv2d channel mismatch: data {cin} vs weight {wcin}")
+    stride = int(attrs.get("stride", 1))
+    pad = int(attrs.get("pad", kh // 2))
+    ho = _conv_out_size(h, kh, stride, pad)
+    wo = _conv_out_size(w, kw, stride, pad)
+    return [(n, cout, ho, wo)]
+
+
+def _conv2d_backward_data_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    out_grad, weight = input_shapes
+    data_shape = attrs.get("data_shape")
+    if data_shape is None:
+        raise ShapeError("conv2d_backward_data requires the 'data_shape' attribute")
+    return [tuple(data_shape)]
+
+
+def _conv2d_backward_weight_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    weight_shape = attrs.get("weight_shape")
+    if weight_shape is None:
+        raise ShapeError("conv2d_backward_weight requires the 'weight_shape' attribute")
+    return [tuple(weight_shape)]
+
+
+def _bias_add_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data, bias = input_shapes
+    if data[1] != bias[0]:
+        raise ShapeError(f"bias_add channel mismatch: {data} + {bias}")
+    return [tuple(data)]
+
+
+# --------------------------------------------------------------------------
+# FLOPs
+# --------------------------------------------------------------------------
+def _conv2d_flops(input_shapes, output_shapes, attrs) -> float:
+    weight = input_shapes[1]
+    out = output_shapes[0]
+    cout, cin, kh, kw = weight
+    return 2.0 * num_elements(out) * cin * kh * kw
+
+
+def _conv2d_backward_data_flops(input_shapes, output_shapes, attrs) -> float:
+    weight = input_shapes[1]
+    out = output_shapes[0]
+    cout, cin, kh, kw = weight
+    return 2.0 * num_elements(out) * cout * kh * kw
+
+
+def _conv2d_backward_weight_flops(input_shapes, output_shapes, attrs) -> float:
+    data = input_shapes[0]
+    out_grad = input_shapes[1]
+    weight = output_shapes[0]
+    _, _, kh, kw = weight
+    return 2.0 * num_elements(out_grad) * weight[1] * kh * kw
+
+
+def _bias_flops(input_shapes, output_shapes, attrs) -> float:
+    return float(num_elements(output_shapes[0]))
+
+
+# --------------------------------------------------------------------------
+# Gradients
+# --------------------------------------------------------------------------
+def _conv2d_grad(builder, node, out_grads) -> Dict[int, str]:
+    data, weight = node.inputs
+    dout = out_grads[0]
+    data_shape = builder.tensor_shape(data)
+    weight_shape = builder.tensor_shape(weight)
+    attrs = dict(node.attrs)
+    d_data = builder.apply(
+        "conv2d_backward_data",
+        [dout, weight],
+        name=f"{node.name}_dX",
+        attrs={**attrs, "data_shape": data_shape},
+    )
+    d_weight = builder.apply(
+        "conv2d_backward_weight",
+        [data, dout],
+        name=f"{node.name}_dW",
+        attrs={**attrs, "weight_shape": weight_shape},
+    )
+    return {0: d_data, 1: d_weight}
+
+
+def _bias_add4d_grad(builder, node, out_grads) -> Dict[int, str]:
+    dout = out_grads[0]
+    d_bias = builder.apply("reduce_to_channel", [dout], name=f"{node.name}_dB")
+    return {0: dout, 1: d_bias}
+
+
+def _bias_add_grad(builder, node, out_grads) -> Dict[int, str]:
+    dout = out_grads[0]
+    d_bias = builder.apply("reduce_to_column", [dout], name=f"{node.name}_dB")
+    return {0: dout, 1: d_bias}
+
+
+def register_conv_ops() -> None:
+    register_op(
+        "conv2d",
+        _conv2d_shape,
+        flops=_conv2d_flops,
+        tdl=_conv2d_tdl,
+        gradient=_conv2d_grad,
+        category="conv",
+    )
+    register_op(
+        "conv2d_backward_data",
+        _conv2d_backward_data_shape,
+        flops=_conv2d_backward_data_flops,
+        tdl=_conv2d_backward_data_tdl,
+        gradient=None,
+        category="conv",
+    )
+    register_op(
+        "conv2d_backward_weight",
+        _conv2d_backward_weight_shape,
+        flops=_conv2d_backward_weight_flops,
+        tdl=_conv2d_backward_weight_tdl,
+        gradient=None,
+        category="conv",
+    )
+    register_op(
+        "bias_add4d",
+        _bias_add_shape,
+        flops=_bias_flops,
+        tdl=_bias_add4d_tdl,
+        gradient=_bias_add4d_grad,
+        category="broadcast",
+    )
+    register_op(
+        "bias_add",
+        _bias_add_shape,
+        flops=_bias_flops,
+        tdl=_bias_add_tdl,
+        gradient=_bias_add_grad,
+        category="broadcast",
+    )

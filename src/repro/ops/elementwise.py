@@ -1,0 +1,238 @@
+"""Element-wise operators.
+
+Element-wise operators are the most common operator class (77 of MXNet's 134
+describable operators, Sec 4.1).  Their TDL descriptions access every input at
+exactly the output indices, which is what lets graph coarsening coalesce
+chains of them (Sec 5.1).
+
+Gradient builders return a mapping ``input position -> gradient tensor name``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.tdl.lang import elementwise as tdl_elementwise
+from repro.ops.registry import register_op, same_shape
+
+
+# --------------------------------------------------------------------------
+# Gradient builders
+# --------------------------------------------------------------------------
+def _identity_grad(builder, node, out_grads) -> Dict[int, str]:
+    """Gradient of a unary identity-like operator (copy, identity)."""
+    return {0: out_grads[0]}
+
+
+def _add_grad(builder, node, out_grads) -> Dict[int, str]:
+    # Emit distinct copy nodes (as MXNet's _backward_copy does) so the same
+    # gradient tensor is not shared between two forward tensors; sharing would
+    # chain otherwise-unrelated tensor groups together during coarsening.
+    da = builder.apply("copy", [out_grads[0]], name=f"{node.name}_dA")
+    db = builder.apply("copy", [out_grads[0]], name=f"{node.name}_dB")
+    return {0: da, 1: db}
+
+
+def _sub_grad(builder, node, out_grads) -> Dict[int, str]:
+    da = builder.apply("copy", [out_grads[0]], name=f"{node.name}_dA")
+    neg = builder.apply("negative", [out_grads[0]], name=f"{node.name}_dneg")
+    return {0: da, 1: neg}
+
+
+def _mul_grad(builder, node, out_grads) -> Dict[int, str]:
+    a, b = node.inputs[0], node.inputs[1]
+    da = builder.apply("multiply", [out_grads[0], b], name=f"{node.name}_dA")
+    db = builder.apply("multiply", [out_grads[0], a], name=f"{node.name}_dB")
+    return {0: da, 1: db}
+
+
+def _relu_grad(builder, node, out_grads) -> Dict[int, str]:
+    grad = builder.apply(
+        "relu_backward", [out_grads[0], node.inputs[0]], name=f"{node.name}_dX"
+    )
+    return {0: grad}
+
+
+def _sigmoid_grad(builder, node, out_grads) -> Dict[int, str]:
+    grad = builder.apply(
+        "sigmoid_backward", [out_grads[0], node.outputs[0]], name=f"{node.name}_dX"
+    )
+    return {0: grad}
+
+
+def _tanh_grad(builder, node, out_grads) -> Dict[int, str]:
+    grad = builder.apply(
+        "tanh_backward", [out_grads[0], node.outputs[0]], name=f"{node.name}_dX"
+    )
+    return {0: grad}
+
+
+def _unary_saved_input_grad(backward_op: str):
+    def grad(builder, node, out_grads) -> Dict[int, str]:
+        g = builder.apply(
+            backward_op, [out_grads[0], node.inputs[0]], name=f"{node.name}_dX"
+        )
+        return {0: g}
+
+    return grad
+
+
+# --------------------------------------------------------------------------
+# Registration
+# --------------------------------------------------------------------------
+_UNARY_FORWARD_WITH_INPUT_GRAD = [
+    # (name, backward op name)
+    ("exp", "exp_backward"),
+    ("log", "log_backward"),
+    ("sqrt", "sqrt_backward"),
+    ("square", "square_backward"),
+]
+
+_UNARY_NO_GRAD = [
+    "negative",
+    "abs",
+    "sign",
+    "floor",
+    "ceil",
+    "round",
+    "clip",
+    "dropout_mask_apply",
+]
+
+_BACKWARD_ONLY = [
+    # backward element-wise kernels (two inputs: upstream grad + saved value)
+    "relu_backward",
+    "sigmoid_backward",
+    "tanh_backward",
+    "exp_backward",
+    "log_backward",
+    "sqrt_backward",
+    "square_backward",
+    "pow_backward",
+]
+
+_OPTIMIZER_OPS = [
+    # element-wise optimiser kernels (Sec 5.1 notes that optimisers such as
+    # SGD/Adam are chains of element-wise operators and thus coalesce).
+    ("sgd_update", 2),          # weight, grad -> new weight
+    ("adagrad_hist_update", 2),  # history, grad -> new history
+    ("adagrad_apply", 3),        # weight, grad, history -> new weight
+    ("adam_moment_update", 2),
+    ("adam_apply", 3),
+]
+
+
+def register_elementwise_ops() -> None:
+    """Register all element-wise operators used by the model zoo."""
+    register_op(
+        "identity",
+        same_shape,
+        tdl=tdl_elementwise("identity", 1),
+        gradient=_identity_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "copy",
+        same_shape,
+        tdl=tdl_elementwise("copy", 1),
+        gradient=_identity_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "add",
+        same_shape,
+        tdl=tdl_elementwise("add", 2),
+        gradient=_add_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "subtract",
+        same_shape,
+        tdl=tdl_elementwise("subtract", 2),
+        gradient=_sub_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "multiply",
+        same_shape,
+        tdl=tdl_elementwise("multiply", 2),
+        gradient=_mul_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "divide",
+        same_shape,
+        tdl=tdl_elementwise("divide", 2),
+        gradient=None,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "relu",
+        same_shape,
+        tdl=tdl_elementwise("relu", 1),
+        gradient=_relu_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "sigmoid",
+        same_shape,
+        tdl=tdl_elementwise("sigmoid", 1),
+        gradient=_sigmoid_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+    register_op(
+        "tanh",
+        same_shape,
+        tdl=tdl_elementwise("tanh", 1),
+        gradient=_tanh_grad,
+        elementwise=True,
+        category="elementwise",
+    )
+
+    for name, backward in _UNARY_FORWARD_WITH_INPUT_GRAD:
+        register_op(
+            name,
+            same_shape,
+            tdl=tdl_elementwise(name, 1),
+            gradient=_unary_saved_input_grad(backward),
+            elementwise=True,
+            category="elementwise",
+        )
+
+    for name in _UNARY_NO_GRAD:
+        register_op(
+            name,
+            same_shape,
+            tdl=tdl_elementwise(name, 1),
+            gradient=_identity_grad,
+            elementwise=True,
+            category="elementwise",
+        )
+
+    for name in _BACKWARD_ONLY:
+        register_op(
+            name,
+            same_shape,
+            tdl=tdl_elementwise(name, 2),
+            gradient=None,
+            elementwise=True,
+            category="elementwise",
+        )
+
+    for name, arity in _OPTIMIZER_OPS:
+        register_op(
+            name,
+            same_shape,
+            tdl=tdl_elementwise(name, arity),
+            gradient=None,
+            elementwise=True,
+            category="optimizer",
+        )

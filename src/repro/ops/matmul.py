@@ -1,0 +1,147 @@
+"""Matrix multiplication operators (the workhorse of RNN/LSTM models).
+
+Three variants are registered so that forward and backward passes each have a
+TDL description with the *correct* access pattern (the backward matmuls
+transpose one operand, which changes which dimension follows each partition
+axis):
+
+* ``matmul``:    C[m, n] = sum_k A[m, k] * B[k, n]
+* ``matmul_nt``: C[m, k] = sum_n A[m, n] * B[k, n]   (B transposed)
+* ``matmul_tn``: C[k, n] = sum_m A[m, k] * B[m, n]   (A transposed)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import Sum, op as tdl_op
+from repro.ops.registry import register_op
+
+
+# --------------------------------------------------------------------------
+# TDL descriptions
+# --------------------------------------------------------------------------
+@tdl_op(name="matmul")
+def _matmul_tdl(a, b):
+    return lambda m, n: Sum(lambda k: a[m, k] * b[k, n])
+
+
+@tdl_op(name="matmul_nt")
+def _matmul_nt_tdl(a, b):
+    return lambda m, k: Sum(lambda n: a[m, n] * b[k, n])
+
+
+@tdl_op(name="matmul_tn")
+def _matmul_tn_tdl(a, b):
+    return lambda k, n: Sum(lambda m: a[m, k] * b[m, n])
+
+
+# --------------------------------------------------------------------------
+# Shape inference
+# --------------------------------------------------------------------------
+def _matmul_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    a, b = input_shapes
+    if len(a) != 2 or len(b) != 2:
+        raise ShapeError(f"matmul expects 2-D operands, got {a} and {b}")
+    if a[1] != b[0]:
+        raise ShapeError(f"matmul inner dimensions mismatch: {a} x {b}")
+    return [(a[0], b[1])]
+
+
+def _matmul_nt_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    a, b = input_shapes
+    if len(a) != 2 or len(b) != 2:
+        raise ShapeError(f"matmul_nt expects 2-D operands, got {a} and {b}")
+    if a[1] != b[1]:
+        raise ShapeError(f"matmul_nt inner dimensions mismatch: {a} x {b}^T")
+    return [(a[0], b[0])]
+
+
+def _matmul_tn_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    a, b = input_shapes
+    if len(a) != 2 or len(b) != 2:
+        raise ShapeError(f"matmul_tn expects 2-D operands, got {a} and {b}")
+    if a[0] != b[0]:
+        raise ShapeError(f"matmul_tn inner dimensions mismatch: {a}^T x {b}")
+    return [(a[1], b[1])]
+
+
+# --------------------------------------------------------------------------
+# FLOPs
+# --------------------------------------------------------------------------
+def _matmul_flops(input_shapes, output_shapes, attrs) -> float:
+    a = input_shapes[0]
+    out = output_shapes[0]
+    # 2 * M * N * K multiply-adds; K is the contracted dimension.
+    m_times_n = out[0] * out[1]
+    k = a[1] if attrs.get("variant", "nn") != "tn" else a[0]
+    return 2.0 * m_times_n * k
+
+
+def _matmul_nt_flops(input_shapes, output_shapes, attrs) -> float:
+    a = input_shapes[0]
+    out = output_shapes[0]
+    return 2.0 * out[0] * out[1] * a[1]
+
+
+def _matmul_tn_flops(input_shapes, output_shapes, attrs) -> float:
+    a = input_shapes[0]
+    out = output_shapes[0]
+    return 2.0 * out[0] * out[1] * a[0]
+
+
+# --------------------------------------------------------------------------
+# Gradients
+# --------------------------------------------------------------------------
+def _matmul_grad(builder, node, out_grads) -> Dict[int, str]:
+    a, b = node.inputs
+    dc = out_grads[0]
+    da = builder.apply("matmul_nt", [dc, b], name=f"{node.name}_dA")
+    db = builder.apply("matmul_tn", [a, dc], name=f"{node.name}_dB")
+    return {0: da, 1: db}
+
+
+def _matmul_nt_grad(builder, node, out_grads) -> Dict[int, str]:
+    # C[m,k] = sum_n A[m,n] B[k,n]; dA = dC B, dB = dC^T A.
+    a, b = node.inputs
+    dc = out_grads[0]
+    da = builder.apply("matmul", [dc, b], name=f"{node.name}_dA")
+    db = builder.apply("matmul_tn", [dc, a], name=f"{node.name}_dB")
+    return {0: da, 1: db}
+
+
+def _matmul_tn_grad(builder, node, out_grads) -> Dict[int, str]:
+    # C[k,n] = sum_m A[m,k] B[m,n]; dA = B dC^T, dB = A dC.
+    a, b = node.inputs
+    dc = out_grads[0]
+    da = builder.apply("matmul_nt", [b, dc], name=f"{node.name}_dA")
+    db = builder.apply("matmul", [a, dc], name=f"{node.name}_dB")
+    return {0: da, 1: db}
+
+
+def register_matmul_ops() -> None:
+    register_op(
+        "matmul",
+        _matmul_shape,
+        flops=_matmul_flops,
+        tdl=_matmul_tdl,
+        gradient=_matmul_grad,
+        category="matmul",
+    )
+    register_op(
+        "matmul_nt",
+        _matmul_nt_shape,
+        flops=_matmul_nt_flops,
+        tdl=_matmul_nt_tdl,
+        gradient=_matmul_nt_grad,
+        category="matmul",
+    )
+    register_op(
+        "matmul_tn",
+        _matmul_tn_shape,
+        flops=_matmul_tn_flops,
+        tdl=_matmul_tn_tdl,
+        gradient=_matmul_tn_grad,
+        category="matmul",
+    )

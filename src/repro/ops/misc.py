@@ -1,0 +1,234 @@
+"""Miscellaneous operators: data movement, slicing, and opaque examples."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import Opaque, op as tdl_op
+from repro.ops.registry import num_elements, register_op, zero_flops
+
+
+@tdl_op(name="slice_axis1")
+def _slice_axis1_tdl(data):
+    # Extract a contiguous range of columns: out[n, h] = data[n, h + begin].
+    # The begin offset is an attribute; a constant offset does not change
+    # which dimension follows which partition axis.
+    return lambda n, h: data[n, h]
+
+
+@tdl_op(name="flatten_nc")
+def _flatten_nc_tdl(data):
+    # [N, C, 1, 1] -> [N, C]
+    return lambda n, c: data[n, c, 0 * n, 0 * n]
+
+
+@tdl_op(name="concat_axis1")
+def _concat_axis1_tdl(a, b):
+    # Concatenation along columns; each output element comes from one input
+    # at the same row index, so the row dimension is freely partitionable.
+    return lambda n, h: a[n, h] + b[n, h]
+
+
+@tdl_op(name="broadcast_to_like")
+def _broadcast_to_like_tdl(scalar, like):
+    return lambda n, k: scalar[0 * n] + like[n, k]
+
+
+@tdl_op(name="embedding_lookup")
+def _embedding_lookup_tdl(table, ids):
+    # Data-dependent indexing of the table rows is hidden in an opaque
+    # function (Sec 4.1); only the batch dimension of ``ids`` is analysable.
+    lookup = Opaque("gather_rows")
+    return lambda n, h: lookup(table[:, :], ids[n])[h]
+
+
+@tdl_op(name="batch_cholesky")
+def _batch_cholesky_tdl(batch_mat):
+    # Figure 3's example: Cholesky itself is opaque but the batch dimension
+    # can still be partitioned.
+    cholesky = Opaque("cholesky")
+    return lambda b, i, j: cholesky(batch_mat[b, :, :])[i, j]
+
+
+# --------------------------------------------------------------------------
+# Shapes
+# --------------------------------------------------------------------------
+def _slice_axis1_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    begin = int(attrs.get("begin", 0))
+    end = int(attrs.get("end", data[1]))
+    if not 0 <= begin < end <= data[1]:
+        raise ShapeError(f"invalid slice [{begin}:{end}] of shape {data}")
+    return [(data[0], end - begin)]
+
+
+def _flatten_nc_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    if len(data) != 4 or data[2] != 1 or data[3] != 1:
+        raise ShapeError(f"flatten_nc expects [N,C,1,1], got {data}")
+    return [(data[0], data[1])]
+
+
+def _concat_axis1_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    a, b = input_shapes
+    if len(a) != 2 or len(b) != 2 or a[0] != b[0]:
+        raise ShapeError(f"concat_axis1 expects matching rows, got {a}, {b}")
+    return [(a[0], a[1] + b[1])]
+
+
+def _broadcast_to_like_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    like = attrs.get("like_shape")
+    if like is None:
+        like = input_shapes[1]
+    return [tuple(like)]
+
+
+def _embedding_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    table, ids = input_shapes
+    if len(table) != 2 or len(ids) != 1:
+        raise ShapeError(f"embedding_lookup expects [V,H] table and [N] ids, got {input_shapes}")
+    return [(ids[0], table[1])]
+
+
+def _batch_cholesky_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    mat = input_shapes[0]
+    if len(mat) != 3 or mat[1] != mat[2]:
+        raise ShapeError(f"batch_cholesky expects [B,N,N], got {mat}")
+    return [tuple(mat)]
+
+
+# --------------------------------------------------------------------------
+# Gradients
+# --------------------------------------------------------------------------
+def _slice_axis1_grad(builder, node, out_grads) -> Dict[int, str]:
+    data = node.inputs[0]
+    shape = builder.tensor_shape(data)
+    grad = builder.apply(
+        "slice_axis1_backward",
+        [out_grads[0]],
+        name=f"{node.name}_dX",
+        attrs={"data_shape": shape, "begin": node.attrs.get("begin", 0)},
+    )
+    return {0: grad}
+
+
+def _slice_axis1_backward_shape(input_shapes, attrs):
+    shape = attrs.get("data_shape")
+    if shape is None:
+        raise ShapeError("slice_axis1_backward requires 'data_shape'")
+    return [tuple(shape)]
+
+
+@tdl_op(name="slice_axis1_backward")
+def _slice_axis1_backward_tdl(out_grad):
+    return lambda n, h: out_grad[n, h]
+
+
+def _flatten_nc_grad(builder, node, out_grads) -> Dict[int, str]:
+    data_shape = builder.tensor_shape(node.inputs[0])
+    grad = builder.apply(
+        "unflatten_nc",
+        [out_grads[0]],
+        name=f"{node.name}_dX",
+        attrs={"data_shape": data_shape},
+    )
+    return {0: grad}
+
+
+def _unflatten_nc_shape(input_shapes, attrs):
+    shape = attrs.get("data_shape")
+    if shape is None:
+        raise ShapeError("unflatten_nc requires 'data_shape'")
+    return [tuple(shape)]
+
+
+@tdl_op(name="unflatten_nc")
+def _unflatten_nc_tdl(data):
+    return lambda n, c, y, x: data[n, c]
+
+
+def _concat_axis1_grad(builder, node, out_grads) -> Dict[int, str]:
+    a, b = node.inputs
+    a_shape = builder.tensor_shape(a)
+    b_shape = builder.tensor_shape(b)
+    da = builder.apply(
+        "slice_axis1",
+        [out_grads[0]],
+        name=f"{node.name}_dA",
+        attrs={"begin": 0, "end": a_shape[1]},
+    )
+    db = builder.apply(
+        "slice_axis1",
+        [out_grads[0]],
+        name=f"{node.name}_dB",
+        attrs={"begin": a_shape[1], "end": a_shape[1] + b_shape[1]},
+    )
+    return {0: da, 1: db}
+
+
+def register_misc_ops() -> None:
+    register_op(
+        "slice_axis1",
+        _slice_axis1_shape,
+        flops=zero_flops,
+        tdl=_slice_axis1_tdl,
+        gradient=_slice_axis1_grad,
+        category="data_movement",
+    )
+    register_op(
+        "slice_axis1_backward",
+        _slice_axis1_backward_shape,
+        flops=zero_flops,
+        tdl=_slice_axis1_backward_tdl,
+        gradient=None,
+        category="data_movement",
+    )
+    register_op(
+        "flatten_nc",
+        _flatten_nc_shape,
+        flops=zero_flops,
+        tdl=_flatten_nc_tdl,
+        gradient=_flatten_nc_grad,
+        category="data_movement",
+    )
+    register_op(
+        "unflatten_nc",
+        _unflatten_nc_shape,
+        flops=zero_flops,
+        tdl=_unflatten_nc_tdl,
+        gradient=None,
+        category="data_movement",
+    )
+    register_op(
+        "concat_axis1",
+        _concat_axis1_shape,
+        flops=zero_flops,
+        tdl=_concat_axis1_tdl,
+        gradient=_concat_axis1_grad,
+        category="data_movement",
+    )
+    register_op(
+        "broadcast_to_like",
+        _broadcast_to_like_shape,
+        flops=lambda i, o, a: float(num_elements(o[0])),
+        tdl=_broadcast_to_like_tdl,
+        gradient=None,
+        category="broadcast",
+    )
+    register_op(
+        "embedding_lookup",
+        _embedding_shape,
+        flops=lambda i, o, a: float(num_elements(o[0])),
+        tdl=_embedding_lookup_tdl,
+        gradient=None,
+        category="opaque",
+    )
+    register_op(
+        "batch_cholesky",
+        _batch_cholesky_shape,
+        flops=lambda i, o, a: float(num_elements(i[0])) * i[0][1] / 3.0,
+        tdl=_batch_cholesky_tdl,
+        gradient=None,
+        category="opaque",
+    )

@@ -1,0 +1,108 @@
+"""Normalisation operators (batch normalisation).
+
+The TDL description models the per-device (non-synchronised) batch
+normalisation used by MXNet when a batch is sharded: the affine scale/shift is
+described exactly, while the batch statistics are treated as device-local.
+This keeps the access pattern honest for partitioning purposes — every
+strategy that is legal for a per-device BN is discovered — and mirrors what
+the paper's MXNet prototype executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import op as tdl_op
+from repro.ops.registry import num_elements, register_op
+
+
+@tdl_op(name="batch_norm")
+def _batch_norm_tdl(data, gamma, beta):
+    return lambda n, c, y, x: data[n, c, y, x] * gamma[c] + beta[c]
+
+
+@tdl_op(name="batch_norm_backward_data")
+def _batch_norm_backward_data_tdl(out_grad, gamma):
+    return lambda n, c, y, x: out_grad[n, c, y, x] * gamma[c]
+
+
+@tdl_op(name="layer_norm")
+def _layer_norm_tdl(data, gamma, beta):
+    return lambda n, c: data[n, c] * gamma[c] + beta[c]
+
+
+def _batch_norm_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data, gamma, beta = input_shapes
+    if len(data) != 4:
+        raise ShapeError(f"batch_norm expects 4-D input, got {data}")
+    if gamma[0] != data[1] or beta[0] != data[1]:
+        raise ShapeError(
+            f"batch_norm parameter size mismatch: data {data}, gamma {gamma}, beta {beta}"
+        )
+    return [tuple(data)]
+
+
+def _batch_norm_backward_data_shape(input_shapes, attrs):
+    return [tuple(input_shapes[0])]
+
+
+def _layer_norm_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data, gamma, beta = input_shapes
+    if len(data) != 2:
+        raise ShapeError(f"layer_norm expects 2-D input, got {data}")
+    return [tuple(data)]
+
+
+def _norm_flops(input_shapes, output_shapes, attrs) -> float:
+    # Normalisation is a handful of FLOPs per element (stats + affine).
+    return 5.0 * num_elements(output_shapes[0])
+
+
+def _batch_norm_grad(builder, node, out_grads) -> Dict[int, str]:
+    data, gamma, beta = node.inputs
+    dout = out_grads[0]
+    d_data = builder.apply(
+        "batch_norm_backward_data", [dout, gamma], name=f"{node.name}_dX"
+    )
+    scaled = builder.apply("multiply", [dout, data], name=f"{node.name}_dG_prod")
+    d_gamma = builder.apply("reduce_to_channel", [scaled], name=f"{node.name}_dG")
+    d_beta = builder.apply("reduce_to_channel", [dout], name=f"{node.name}_dBeta")
+    return {0: d_data, 1: d_gamma, 2: d_beta}
+
+
+def _layer_norm_grad(builder, node, out_grads) -> Dict[int, str]:
+    data, gamma, beta = node.inputs
+    dout = out_grads[0]
+    d_data = builder.apply("multiply_col_broadcast", [dout, gamma], name=f"{node.name}_dX")
+    scaled = builder.apply("multiply", [dout, data], name=f"{node.name}_dG_prod")
+    d_gamma = builder.apply("reduce_to_column", [scaled], name=f"{node.name}_dG")
+    d_beta = builder.apply("reduce_to_column", [dout], name=f"{node.name}_dBeta")
+    return {0: d_data, 1: d_gamma, 2: d_beta}
+
+
+def register_norm_ops() -> None:
+    register_op(
+        "batch_norm",
+        _batch_norm_shape,
+        flops=_norm_flops,
+        tdl=_batch_norm_tdl,
+        gradient=_batch_norm_grad,
+        category="norm",
+    )
+    register_op(
+        "batch_norm_backward_data",
+        _batch_norm_backward_data_shape,
+        flops=_norm_flops,
+        tdl=_batch_norm_backward_data_tdl,
+        gradient=None,
+        category="norm",
+    )
+    register_op(
+        "layer_norm",
+        _layer_norm_shape,
+        flops=_norm_flops,
+        tdl=_layer_norm_tdl,
+        gradient=_layer_norm_grad,
+        category="norm",
+    )

@@ -1,0 +1,144 @@
+"""Pooling operators for CNNs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import Max, Sum, op as tdl_op
+from repro.ops.registry import num_elements, register_op
+
+
+@tdl_op(name="max_pool2d")
+def _max_pool_tdl(data):
+    return lambda n, c, y, x: Max(lambda ky, kx: data[n, c, y + ky, x + kx])
+
+
+@tdl_op(name="avg_pool2d")
+def _avg_pool_tdl(data):
+    return lambda n, c, y, x: Sum(lambda ky, kx: data[n, c, y + ky, x + kx])
+
+
+@tdl_op(name="global_avg_pool")
+def _global_avg_pool_tdl(data):
+    return lambda n, c: Sum(lambda y, x: data[n, c, y, x])
+
+
+@tdl_op(name="pool2d_backward")
+def _pool_backward_tdl(out_grad, data):
+    # The gradient of pooling scatters each output gradient back into its
+    # pooling window; access-pattern-wise it mirrors the forward halo pattern.
+    return lambda n, c, y, x: Sum(lambda ky, kx: out_grad[n, c, y + ky, x + kx]) + data[
+        n, c, y, x
+    ]
+
+
+@tdl_op(name="global_avg_pool_backward")
+def _global_avg_pool_backward_tdl(out_grad):
+    return lambda n, c, y, x: out_grad[n, c]
+
+
+def _pool_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    if len(data) != 4:
+        raise ShapeError(f"pooling expects 4-D input, got {data}")
+    n, c, h, w = data
+    kernel = int(attrs.get("kernel", 2))
+    stride = int(attrs.get("stride", kernel))
+    pad = int(attrs.get("pad", 0))
+    ho = (h + 2 * pad - kernel) // stride + 1
+    wo = (w + 2 * pad - kernel) // stride + 1
+    if ho <= 0 or wo <= 0:
+        raise ShapeError(f"pooling output is empty for input {data} and attrs {attrs}")
+    return [(n, c, ho, wo)]
+
+
+def _global_avg_pool_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    if len(data) != 4:
+        raise ShapeError(f"global_avg_pool expects 4-D input, got {data}")
+    return [(data[0], data[1])]
+
+
+def _pool_backward_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    return [tuple(input_shapes[1])]
+
+
+def _global_avg_pool_backward_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data_shape = attrs.get("data_shape")
+    if data_shape is None:
+        raise ShapeError("global_avg_pool_backward requires 'data_shape'")
+    return [tuple(data_shape)]
+
+
+def _pool_flops(input_shapes, output_shapes, attrs) -> float:
+    kernel = int(attrs.get("kernel", 2))
+    return float(num_elements(output_shapes[0])) * kernel * kernel
+
+
+def _global_pool_flops(input_shapes, output_shapes, attrs) -> float:
+    return float(num_elements(input_shapes[0]))
+
+
+def _max_pool_grad(builder, node, out_grads) -> Dict[int, str]:
+    grad = builder.apply(
+        "pool2d_backward",
+        [out_grads[0], node.inputs[0]],
+        name=f"{node.name}_dX",
+        attrs=dict(node.attrs),
+    )
+    return {0: grad}
+
+
+def _global_avg_pool_grad(builder, node, out_grads) -> Dict[int, str]:
+    data_shape = builder.tensor_shape(node.inputs[0])
+    grad = builder.apply(
+        "global_avg_pool_backward",
+        [out_grads[0]],
+        name=f"{node.name}_dX",
+        attrs={"data_shape": data_shape},
+    )
+    return {0: grad}
+
+
+def register_pooling_ops() -> None:
+    register_op(
+        "max_pool2d",
+        _pool_shape,
+        flops=_pool_flops,
+        tdl=_max_pool_tdl,
+        gradient=_max_pool_grad,
+        category="pooling",
+    )
+    register_op(
+        "avg_pool2d",
+        _pool_shape,
+        flops=_pool_flops,
+        tdl=_avg_pool_tdl,
+        gradient=_max_pool_grad,
+        category="pooling",
+    )
+    register_op(
+        "global_avg_pool",
+        _global_avg_pool_shape,
+        flops=_global_pool_flops,
+        tdl=_global_avg_pool_tdl,
+        gradient=_global_avg_pool_grad,
+        category="pooling",
+    )
+    register_op(
+        "pool2d_backward",
+        _pool_backward_shape,
+        flops=_pool_flops,
+        tdl=_pool_backward_tdl,
+        gradient=None,
+        category="pooling",
+    )
+    register_op(
+        "global_avg_pool_backward",
+        _global_avg_pool_backward_shape,
+        flops=_global_pool_flops,
+        tdl=_global_avg_pool_backward_tdl,
+        gradient=None,
+        category="pooling",
+    )

@@ -1,0 +1,200 @@
+"""Reduction operators and loss functions.
+
+These are the operators with explicit output reductions (11 of MXNet's
+non-element-wise describable operators have at least one reduction dimension
+per Sec 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ShapeError
+from repro.tdl import Sum, op as tdl_op
+from repro.ops.registry import num_elements, register_op
+
+
+@tdl_op(name="reduce_to_channel")
+def _reduce_to_channel_tdl(data):
+    # [N, C, H, W] -> [C]; used for bias / batch-norm parameter gradients.
+    return lambda c: Sum(lambda n, y, x: data[n, c, y, x])
+
+
+@tdl_op(name="reduce_to_column")
+def _reduce_to_column_tdl(data):
+    # [N, K] -> [K]; used for dense-layer bias gradients.
+    return lambda k: Sum(lambda n: data[n, k])
+
+
+@tdl_op(name="reduce_mean_all")
+def _reduce_mean_all_tdl(data):
+    # [N, K] -> [1]; scalar training loss.
+    return lambda o: Sum(lambda n, k: data[n, k])
+
+
+@tdl_op(name="softmax_cross_entropy")
+def _softmax_cross_entropy_tdl(logits, labels):
+    # Per-sample loss: [N, K], [N] -> [N].
+    return lambda n: Sum(lambda k: logits[n, k]) + labels[n]
+
+
+@tdl_op(name="softmax_cross_entropy_backward")
+def _softmax_cross_entropy_backward_tdl(logits, labels, loss_grad):
+    return lambda n, k: logits[n, k] + labels[n] + loss_grad[n]
+
+
+@tdl_op(name="broadcast_scalar")
+def _broadcast_scalar_tdl(scalar):
+    # [1] -> [N]; used to broadcast the loss gradient back to samples.
+    return lambda n: scalar[0 * n]
+
+
+@tdl_op(name="multiply_col_broadcast")
+def _multiply_col_broadcast_tdl(data, vec):
+    # [N, K] * [K] -> [N, K]
+    return lambda n, k: data[n, k] * vec[k]
+
+
+# --------------------------------------------------------------------------
+# Shapes
+# --------------------------------------------------------------------------
+def _reduce_to_channel_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    if len(data) != 4:
+        raise ShapeError(f"reduce_to_channel expects 4-D input, got {data}")
+    return [(data[1],)]
+
+
+def _reduce_to_column_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data = input_shapes[0]
+    if len(data) != 2:
+        raise ShapeError(f"reduce_to_column expects 2-D input, got {data}")
+    return [(data[1],)]
+
+
+def _reduce_mean_all_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    return [(1,)]
+
+
+def _softmax_ce_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    logits, labels = input_shapes
+    if len(logits) != 2 or len(labels) != 1 or logits[0] != labels[0]:
+        raise ShapeError(
+            f"softmax_cross_entropy expects [N,K] logits and [N] labels, got {input_shapes}"
+        )
+    return [(logits[0],)]
+
+
+def _softmax_ce_backward_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    return [tuple(input_shapes[0])]
+
+
+def _broadcast_scalar_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    n = attrs.get("length")
+    if n is None:
+        raise ShapeError("broadcast_scalar requires the 'length' attribute")
+    return [(int(n),)]
+
+
+def _mul_col_broadcast_shape(input_shapes: List[Tuple[int, ...]], attrs: dict):
+    data, vec = input_shapes
+    if len(data) != 2 or data[1] != vec[0]:
+        raise ShapeError(f"multiply_col_broadcast shape mismatch: {data} * {vec}")
+    return [tuple(data)]
+
+
+# --------------------------------------------------------------------------
+# FLOPs
+# --------------------------------------------------------------------------
+def _input_elem_flops(input_shapes, output_shapes, attrs) -> float:
+    return float(num_elements(input_shapes[0]))
+
+
+def _softmax_flops(input_shapes, output_shapes, attrs) -> float:
+    return 4.0 * num_elements(input_shapes[0])
+
+
+# --------------------------------------------------------------------------
+# Gradients
+# --------------------------------------------------------------------------
+def _softmax_ce_grad(builder, node, out_grads) -> Dict[int, str]:
+    logits, labels = node.inputs
+    d_logits = builder.apply(
+        "softmax_cross_entropy_backward",
+        [logits, labels, out_grads[0]],
+        name=f"{node.name}_dLogits",
+    )
+    return {0: d_logits}
+
+
+def _reduce_mean_all_grad(builder, node, out_grads) -> Dict[int, str]:
+    data = node.inputs[0]
+    shape = builder.tensor_shape(data)
+    # Gradient of a mean is a broadcast of the scalar gradient; for the cost
+    # and memory model a same-shaped element-wise tensor is generated.
+    grad = builder.apply(
+        "broadcast_to_like",
+        [out_grads[0], data],
+        name=f"{node.name}_dX",
+        attrs={"like_shape": shape},
+    )
+    return {0: grad}
+
+
+def register_reduction_ops() -> None:
+    register_op(
+        "reduce_to_channel",
+        _reduce_to_channel_shape,
+        flops=_input_elem_flops,
+        tdl=_reduce_to_channel_tdl,
+        gradient=None,
+        category="reduce",
+    )
+    register_op(
+        "reduce_to_column",
+        _reduce_to_column_shape,
+        flops=_input_elem_flops,
+        tdl=_reduce_to_column_tdl,
+        gradient=None,
+        category="reduce",
+    )
+    register_op(
+        "reduce_mean_all",
+        _reduce_mean_all_shape,
+        flops=_input_elem_flops,
+        tdl=_reduce_mean_all_tdl,
+        gradient=_reduce_mean_all_grad,
+        category="reduce",
+    )
+    register_op(
+        "softmax_cross_entropy",
+        _softmax_ce_shape,
+        flops=_softmax_flops,
+        tdl=_softmax_cross_entropy_tdl,
+        gradient=_softmax_ce_grad,
+        category="loss",
+    )
+    register_op(
+        "softmax_cross_entropy_backward",
+        _softmax_ce_backward_shape,
+        flops=_softmax_flops,
+        tdl=_softmax_cross_entropy_backward_tdl,
+        gradient=None,
+        category="loss",
+    )
+    register_op(
+        "broadcast_scalar",
+        _broadcast_scalar_shape,
+        flops=_input_elem_flops,
+        tdl=_broadcast_scalar_tdl,
+        gradient=None,
+        category="broadcast",
+    )
+    register_op(
+        "multiply_col_broadcast",
+        _mul_col_broadcast_shape,
+        flops=_input_elem_flops,
+        tdl=_multiply_col_broadcast_tdl,
+        gradient=None,
+        category="broadcast",
+    )

@@ -1,0 +1,138 @@
+"""Operator registry.
+
+Every operator that can appear in a dataflow graph is registered here with:
+
+* a shape-inference function (so graphs can be built symbolically),
+* a FLOP cost function (consumed by the device simulator),
+* a TDL description (consumed by partition-strategy discovery),
+* an optional gradient builder (consumed by reverse-mode autodiff).
+
+This is the stand-in for MXNet's operator registry; the paper's prototype
+attaches TDL descriptions to 134 of MXNet v0.11's 139 operators in the same
+spirit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import UnknownOperatorError
+from repro.tdl.lang import TDLOperator
+from repro.tdl.registry import GLOBAL_REGISTRY
+
+ShapeFn = Callable[[List[Tuple[int, ...]], dict], List[Tuple[int, ...]]]
+FlopsFn = Callable[[List[Tuple[int, ...]], List[Tuple[int, ...]], dict], float]
+GradFn = Callable[[object, object, List[str]], Dict[str, str]]
+
+
+@dataclass
+class OpDef:
+    """Definition of one operator."""
+
+    name: str
+    infer_shape: ShapeFn
+    flops: FlopsFn
+    tdl: Optional[TDLOperator] = None
+    gradient: Optional[GradFn] = None
+    elementwise: bool = False
+    category: str = "general"
+    num_outputs: int = 1
+    attrs_schema: Dict[str, object] = field(default_factory=dict)
+
+    def output_shapes(
+        self, input_shapes: List[Tuple[int, ...]], attrs: dict
+    ) -> List[Tuple[int, ...]]:
+        return self.infer_shape(input_shapes, attrs)
+
+    def flop_count(
+        self,
+        input_shapes: List[Tuple[int, ...]],
+        output_shapes: List[Tuple[int, ...]],
+        attrs: dict,
+    ) -> float:
+        return self.flops(input_shapes, output_shapes, attrs)
+
+
+#: The process-global operator table.
+OPS: Dict[str, OpDef] = {}
+
+
+def register_op(
+    name: str,
+    infer_shape: ShapeFn,
+    *,
+    flops: Optional[FlopsFn] = None,
+    tdl: Optional[TDLOperator] = None,
+    gradient: Optional[GradFn] = None,
+    elementwise: bool = False,
+    category: str = "general",
+    num_outputs: int = 1,
+) -> OpDef:
+    """Register an operator definition (overwrites any previous definition)."""
+    if flops is None:
+        flops = elementwise_flops
+    opdef = OpDef(
+        name=name,
+        infer_shape=infer_shape,
+        flops=flops,
+        tdl=tdl,
+        gradient=gradient,
+        elementwise=elementwise,
+        category=category,
+        num_outputs=num_outputs,
+    )
+    OPS[name] = opdef
+    if tdl is not None:
+        GLOBAL_REGISTRY.register(tdl, name=name)
+    return opdef
+
+
+def get_op(name: str) -> OpDef:
+    try:
+        return OPS[name]
+    except KeyError:
+        raise UnknownOperatorError(f"operator {name!r} is not registered") from None
+
+
+def has_op(name: str) -> bool:
+    return name in OPS
+
+
+def list_ops(category: Optional[str] = None) -> List[str]:
+    if category is None:
+        return sorted(OPS)
+    return sorted(n for n, d in OPS.items() if d.category == category)
+
+
+# --------------------------------------------------------------------------
+# Generic shape / FLOP helpers used by many operator definitions
+# --------------------------------------------------------------------------
+def num_elements(shape: Sequence[int]) -> int:
+    n = 1
+    for d in shape:
+        n *= int(d)
+    return n
+
+
+def same_shape(input_shapes: List[Tuple[int, ...]], attrs: dict) -> List[Tuple[int, ...]]:
+    """Shape function for element-wise operators: output mirrors input 0."""
+    return [tuple(input_shapes[0])]
+
+
+def elementwise_flops(
+    input_shapes: List[Tuple[int, ...]],
+    output_shapes: List[Tuple[int, ...]],
+    attrs: dict,
+) -> float:
+    """One FLOP per output element (the default for cheap operators)."""
+    return float(num_elements(output_shapes[0]))
+
+
+def zero_flops(
+    input_shapes: List[Tuple[int, ...]],
+    output_shapes: List[Tuple[int, ...]],
+    attrs: dict,
+) -> float:
+    """Data-movement-only operators (reshape, slice, copy)."""
+    return 0.0

@@ -1,0 +1,210 @@
+"""Partitioned-graph generation (Sec 6).
+
+Given a :class:`PartitionPlan`, this module materialises the per-worker
+execution: every operator becomes ``k`` sharded compute tasks (one per
+device), remote input regions become fetch tasks, and output reductions become
+reduce tasks.  The three optimisations of Sec 6 are modelled explicitly:
+
+* **Control dependencies** keep the per-worker memory planner able to reuse
+  buffers exactly as in the unpartitioned graph; disabling them makes the
+  per-worker transient pool revert to no-reuse allocation.
+* **Fused remote fetch (MultiFetch)** assembles remote regions in place with a
+  single kernel; disabling it stages the regions through intermediate buffers
+  (extra memory) and pays one extra launch per fetched input.
+* **Spread-out reduction (all-reduce)** distributes output-reduction traffic
+  over all workers; disabling it funnels the reduction through worker 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.graph.graph import Graph
+from repro.graph.memory_planner import plan_memory
+from repro.graph.node import OpNode
+from repro.graph.tensor import TensorSpec
+from repro.partition.cost import CommunicationCostModel
+from repro.partition.plan import PartitionPlan
+from repro.partition.recursive import _shrink_shapes
+from repro.sim.costmodel import node_kernel_time
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.engine import Task
+
+
+@dataclass
+class PartitionedGraph:
+    """Everything the simulator needs to execute a partitioned training step."""
+
+    num_devices: int
+    tasks: Dict[str, Task]
+    per_device_memory: Dict[int, int]
+    total_comm_bytes: float
+    fetch_bytes_per_node: Dict[str, float]
+    reduce_bytes_per_node: Dict[str, float]
+    sharded_graph: Graph
+    plan: PartitionPlan
+
+    @property
+    def per_device_peak_bytes(self) -> int:
+        return max(self.per_device_memory.values(), default=0)
+
+    def summary(self) -> str:
+        gib = 1 << 30
+        return (
+            f"PartitionedGraph(devices={self.num_devices}, tasks={len(self.tasks)}, "
+            f"comm={self.total_comm_bytes / gib:.2f} GiB/iter, "
+            f"per-device mem={self.per_device_peak_bytes / gib:.2f} GiB)"
+        )
+
+
+def build_sharded_graph(graph: Graph, plan: PartitionPlan) -> Graph:
+    """A copy of ``graph`` whose tensors have per-worker shard shapes.
+
+    This graph is what one worker holds locally; the memory planner runs on it
+    to obtain the per-worker footprint (which should be roughly ``1/k`` of the
+    original, Sec 5 "Optimization goal").
+    """
+    sharded = Graph(f"{graph.name}@shard")
+    for name, spec in graph.tensors.items():
+        sharded.add_tensor(
+            TensorSpec(
+                name=name,
+                shape=plan.shard_shape(name, spec.shape),
+                dtype=spec.dtype,
+                kind=spec.kind,
+            )
+        )
+    for node in graph.nodes.values():
+        sharded.add_node(
+            OpNode(
+                name=node.name,
+                op=node.op,
+                inputs=list(node.inputs),
+                outputs=list(node.outputs),
+                attrs=dict(node.attrs),
+            )
+        )
+    sharded.metadata.update(graph.metadata)
+    return sharded
+
+
+def per_node_communication(
+    graph: Graph, plan: PartitionPlan
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Cluster-wide fetch and reduction bytes of every node under ``plan``."""
+    fetch: Dict[str, float] = {name: 0.0 for name in graph.nodes}
+    reduce_: Dict[str, float] = {name: 0.0 for name in graph.nodes}
+    cost_model = CommunicationCostModel(graph)
+    shapes = {name: spec.shape for name, spec in graph.tensors.items()}
+    group_count = 1
+    for step in plan.steps:
+        cost_model.set_shapes(shapes)
+        for node_name in graph.nodes:
+            _, in_bytes, out_bytes = cost_model.node_cost_detail(
+                node_name, step.tensor_dims, step.parts
+            )
+            fetch[node_name] += in_bytes * group_count
+            reduce_[node_name] += out_bytes * group_count
+        shapes = _shrink_shapes(shapes, step)
+        group_count *= step.parts
+    return fetch, reduce_
+
+
+def generate_partitioned_graph(
+    graph: Graph,
+    plan: PartitionPlan,
+    machine: Optional[MachineSpec] = None,
+    *,
+    fuse_remote_fetch: bool = True,
+    add_control_dependencies: bool = True,
+    spread_reduction: bool = True,
+) -> PartitionedGraph:
+    """Generate the per-device task graph and memory estimate for ``plan``."""
+    if machine is None:
+        machine = k80_8gpu_machine(plan.num_workers)
+    num_devices = plan.num_workers
+
+    fetch_bytes, reduce_bytes = per_node_communication(graph, plan)
+    total_comm = sum(fetch_bytes.values()) + sum(reduce_bytes.values())
+
+    sharded = build_sharded_graph(graph, plan)
+    memory_plan = plan_memory(sharded, allow_reuse=add_control_dependencies)
+
+    # Communication buffers: the fused MultiFetch kernel assembles remote
+    # regions in place (one staging buffer); the unfused path splits, copies
+    # and concatenates, which needs roughly twice the staging memory and keeps
+    # it alive longer (Sec 6).
+    max_fetch_per_device = max(
+        (fetch_bytes[n] + reduce_bytes[n]) / num_devices for n in graph.nodes
+    ) if graph.nodes else 0.0
+    staging_factor = 2.0 if fuse_remote_fetch else 5.0
+    comm_buffer_bytes = int(staging_factor * max_fetch_per_device)
+
+    per_device_memory = {
+        d: memory_plan.peak_bytes + comm_buffer_bytes for d in range(num_devices)
+    }
+
+    tasks: Dict[str, Task] = {}
+    scale = 1.0 / num_devices
+    launch_penalty = 0.0 if fuse_remote_fetch else 3 * machine.kernel_launch_overhead
+
+    topo = graph.topo_order()
+    for device in range(num_devices):
+        device_spec = machine.device(device)
+        for node in topo:
+            name = node.name
+            compute_name = f"{name}@{device}"
+            deps: List[str] = []
+
+            producers = []
+            for tensor in node.inputs:
+                producer = graph.tensor(tensor).producer
+                if producer is not None:
+                    producers.append(producer)
+
+            node_fetch = fetch_bytes[name] / num_devices
+            node_reduce = reduce_bytes[name]
+            if spread_reduction:
+                node_reduce_dev = node_reduce / num_devices
+            else:
+                node_reduce_dev = node_reduce if device == 0 else 0.0
+
+            comm_total = node_fetch + node_reduce_dev
+            if comm_total > 0.0 and producers:
+                fetch_name = f"{name}@{device}:fetch"
+                # Remote regions come from every peer: the fetch waits for the
+                # producers on all devices (a conservative synchronisation).
+                fetch_deps = [f"{p}@{d}" for p in producers for d in range(num_devices)]
+                tasks[fetch_name] = Task(
+                    name=fetch_name,
+                    device=device,
+                    kind="comm",
+                    comm_bytes=comm_total,
+                    channel="p2p",
+                    deps=fetch_deps,
+                )
+                deps.append(fetch_name)
+            deps.extend(f"{p}@{device}" for p in producers)
+
+            duration = node_kernel_time(
+                graph, name, device_spec, machine, scale=scale
+            ) + launch_penalty
+            tasks[compute_name] = Task(
+                name=compute_name,
+                device=device,
+                kind="compute",
+                duration=duration,
+                deps=deps,
+            )
+
+    return PartitionedGraph(
+        num_devices=num_devices,
+        tasks=tasks,
+        per_device_memory=per_device_memory,
+        total_comm_bytes=total_comm,
+        fetch_bytes_per_node=fetch_bytes,
+        reduce_bytes_per_node=reduce_bytes,
+        sharded_graph=sharded,
+        plan=plan,
+    )

@@ -1,0 +1,350 @@
+"""Dynamic-programming partition search over the coarsened graph (Sec 5).
+
+``dp_partition_step`` finds the minimum-communication assignment of one
+partition dimension per tensor (and one partition-n-reduce strategy per
+operator) for a single recursive step that splits the graph across ``parts``
+worker groups.  It is a *frontier* DP: operator groups are visited in
+topological order and the DP state is the set of partition choices of the
+tensor groups that cross the frontier between visited and unvisited groups.
+For chain-like coarsened graphs (MLPs, CNNs, coalesced RNNs) the frontier is
+tiny, which is what makes the search fast.
+
+``joint_partition`` is the non-recursive variant used as the Table 1
+comparison point: every tensor group chooses a full multi-step configuration
+(a tuple of dimensions) at once, which blows up the per-group search space
+exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.partition.coarsen import CoarsenedGraph, coarsen
+from repro.partition.cost import CommunicationCostModel
+from repro.partition.plan import PartitionPlan, StepAssignment, factorize_workers
+
+Config = Tuple[int, ...]  # one dimension per step
+
+
+class SearchBudgetExceeded(PartitionError):
+    """Raised when ``joint_partition`` exceeds its time budget."""
+
+
+# ---------------------------------------------------------------------------
+# Shared frontier-DP machinery
+# ---------------------------------------------------------------------------
+class _FrontierDP:
+    def __init__(
+        self,
+        graph: Graph,
+        coarse: CoarsenedGraph,
+        cost_model: CommunicationCostModel,
+        *,
+        parts_per_step: Sequence[int],
+        max_states: int = 256,
+        time_limit: Optional[float] = None,
+    ) -> None:
+        self.graph = graph
+        self.coarse = coarse
+        self.cost_model = cost_model
+        self.parts_per_step = list(parts_per_step)
+        self.num_steps = len(self.parts_per_step)
+        self.max_states = max_states
+        self.time_limit = time_limit
+        self._start = time.time()
+        self._group_cost_cache: Dict[Tuple, Tuple[float, Dict[str, Config]]] = {}
+
+        self.first_toucher: Dict[int, int] = {}
+        self.last_toucher: Dict[int, int] = {}
+        for tg, touchers in coarse.touchers_of.items():
+            self.first_toucher[tg] = min(touchers)
+            self.last_toucher[tg] = max(touchers)
+
+    # ------------------------------------------------------------ candidates
+    def group_candidates(self, tg: int) -> List[Config]:
+        """Candidate configurations for one tensor group."""
+        members = self.coarse.tensor_group(tg).members
+        per_step: List[List[int]] = []
+        for parts in self.parts_per_step:
+            dims: Optional[set] = None
+            for member in members:
+                cand = set(self.cost_model.candidate_dims(member, parts))
+                dims = cand if dims is None else (dims & cand)
+            if not dims:
+                dims = {0}
+            per_step.append(sorted(dims))
+        return [tuple(c) for c in itertools.product(*per_step)]
+
+    def _is_decision_group(self, tg: int) -> bool:
+        group = self.coarse.tensor_group(tg)
+        touchers = self.coarse.touchers_of.get(tg, [])
+        return len(touchers) > 1 or group.persistent
+
+    # ----------------------------------------------------------------- solve
+    def solve(self) -> Tuple[float, Dict[str, Config], Dict[str, str]]:
+        """Run the DP; returns (cost, per-tensor config, per-node strategy)."""
+        op_groups = self.coarse.op_groups
+        # states: frontier key -> (cost, state index)
+        states: Dict[Tuple, float] = {(): 0.0}
+        backptr: List[Dict[Tuple, Tuple[Tuple, Dict[int, Config]]]] = []
+
+        for group in op_groups:
+            if self.time_limit is not None and time.time() - self._start > self.time_limit:
+                raise SearchBudgetExceeded(
+                    f"partition search exceeded {self.time_limit:.0f}s budget"
+                )
+            gid = group.gid
+            touched = self.coarse.touched_by[gid]
+            decision_tgs = [
+                tg
+                for tg in touched
+                if self.first_toucher[tg] == gid and self._is_decision_group(tg)
+            ]
+            internal_tgs = [
+                tg
+                for tg in touched
+                if self.first_toucher[tg] == gid and not self._is_decision_group(tg)
+            ]
+            carried_tgs = [tg for tg in touched if self.first_toucher[tg] != gid]
+            dropped = {tg for tg in touched if self.last_toucher[tg] == gid}
+
+            candidates = {tg: self.group_candidates(tg) for tg in decision_tgs}
+            combos = list(itertools.product(*(candidates[tg] for tg in decision_tgs)))
+
+            new_states: Dict[Tuple, float] = {}
+            pointers: Dict[Tuple, Tuple[Tuple, Dict[int, Config]]] = {}
+
+            for state_key, cost_so_far in states.items():
+                frontier = dict(state_key)
+                missing = [tg for tg in carried_tgs if tg not in frontier]
+                if missing:
+                    # A carried tensor group must already be assigned; if not
+                    # (can only happen for exotic graphs) treat it as a
+                    # decision here.
+                    raise PartitionError(
+                        f"tensor groups {missing} reached group {gid} unassigned"
+                    )
+                for combo in combos:
+                    decided = dict(zip(decision_tgs, combo))
+                    local = {**{tg: frontier[tg] for tg in carried_tgs}, **decided}
+                    group_cost, internal_cfg = self._group_cost(gid, local, internal_tgs)
+                    total = cost_so_far + group_cost
+                    next_frontier = {
+                        tg: cfg for tg, cfg in frontier.items() if tg not in dropped
+                    }
+                    for tg, cfg in decided.items():
+                        if tg not in dropped:
+                            next_frontier[tg] = cfg
+                    key = tuple(sorted(next_frontier.items()))
+                    if key not in new_states or total < new_states[key]:
+                        new_states[key] = total
+                        pointers[key] = (state_key, {**decided, **internal_cfg})
+
+            if not new_states:
+                raise PartitionError(f"DP produced no states at group {gid}")
+            if len(new_states) > self.max_states:
+                kept = sorted(new_states.items(), key=lambda kv: kv[1])[: self.max_states]
+                new_states = dict(kept)
+                pointers = {k: pointers[k] for k, _ in kept}
+            states = new_states
+            backptr.append(pointers)
+
+        # ------------------------------------------------------------ recover
+        best_key = min(states, key=lambda k: states[k])
+        best_cost = states[best_key]
+        tg_config: Dict[int, Config] = {}
+        key = best_key
+        for pointers in reversed(backptr):
+            prev_key, decided = pointers[key]
+            for tg, cfg in decided.items():
+                tg_config.setdefault(tg, cfg)
+            key = prev_key
+
+        tensor_config: Dict[str, Config] = {}
+        for tg, cfg in tg_config.items():
+            for member in self.coarse.tensor_group(tg).members:
+                tensor_config[member] = self._clamp(member, cfg)
+        # Tensors never decided (untouched by any node) default to dim 0.
+        default = tuple([0] * self.num_steps)
+        for tensor in self.graph.tensors:
+            tensor_config.setdefault(tensor, self._clamp(tensor, default))
+
+        strategies = self._final_strategies(tensor_config)
+        return best_cost, tensor_config, strategies
+
+    # ------------------------------------------------------------ group cost
+    def _group_cost(
+        self, gid: int, local: Mapping[int, Config], internal_tgs: Sequence[int]
+    ) -> Tuple[float, Dict[int, Config]]:
+        cache_key = (gid, tuple(sorted(local.items())))
+        cached = self._group_cost_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        # Reference configuration for internal temporaries: the largest
+        # decided tensor group (typically the group's output activations).
+        ref_cfg: Optional[Config] = None
+        ref_size = -1.0
+        for tg, cfg in local.items():
+            size = sum(
+                self.cost_model.tensor_bytes(m)
+                for m in self.coarse.tensor_group(tg).members
+            )
+            if size > ref_size:
+                ref_size = size
+                ref_cfg = cfg
+        if ref_cfg is None:
+            ref_cfg = tuple([0] * self.num_steps)
+
+        internal_cfg: Dict[int, Config] = {tg: ref_cfg for tg in internal_tgs}
+
+        tensor_config: Dict[str, Config] = {}
+        for tg, cfg in {**dict(local), **internal_cfg}.items():
+            for member in self.coarse.tensor_group(tg).members:
+                tensor_config[member] = self._clamp(member, cfg)
+
+        total = 0.0
+        members = self.coarse.op_group(gid).members
+        for step, parts in enumerate(self.parts_per_step):
+            step_dims = {t: cfg[step] for t, cfg in tensor_config.items()}
+            for node_name in members:
+                _, cost = self.cost_model.node_cost(node_name, step_dims, parts)
+                total += cost
+        result = (total, internal_cfg)
+        self._group_cost_cache[cache_key] = result
+        return result
+
+    def _clamp(self, tensor: str, cfg: Config) -> Config:
+        ndim = max(1, len(self.cost_model.shapes[tensor]))
+        return tuple(min(d, ndim - 1) for d in cfg)
+
+    def _final_strategies(self, tensor_config: Mapping[str, Config]) -> Dict[str, str]:
+        strategies: Dict[str, str] = {}
+        step_dims = {t: cfg[0] for t, cfg in tensor_config.items()}
+        parts = self.parts_per_step[0]
+        for node_name in self.graph.nodes:
+            axis, _ = self.cost_model.node_cost(node_name, step_dims, parts)
+            strategies[node_name] = axis
+        return strategies
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+def dp_partition_step(
+    graph: Graph,
+    coarse: CoarsenedGraph,
+    cost_model: CommunicationCostModel,
+    parts: int,
+    *,
+    max_states: int = 256,
+) -> StepAssignment:
+    """One recursive step: partition every tensor along one dimension across
+    ``parts`` worker groups, minimising communication."""
+    dp = _FrontierDP(
+        graph,
+        coarse,
+        cost_model,
+        parts_per_step=[parts],
+        max_states=max_states,
+    )
+    cost, tensor_config, strategies = dp.solve()
+    tensor_dims = {t: cfg[0] for t, cfg in tensor_config.items()}
+    return StepAssignment(
+        parts=parts,
+        tensor_dims=tensor_dims,
+        op_strategies=strategies,
+        comm_bytes=cost,
+        weighted_bytes=cost,
+    )
+
+
+def joint_partition(
+    graph: Graph,
+    num_workers: int,
+    *,
+    coarse: Optional[CoarsenedGraph] = None,
+    cost_model: Optional[CommunicationCostModel] = None,
+    allow_reduction: bool = True,
+    max_states: int = 256,
+    time_limit: Optional[float] = None,
+) -> PartitionPlan:
+    """Non-recursive search: choose all ``m`` partition dimensions per tensor
+    jointly (the "DP with coarsening" row of Table 1).
+
+    Exponentially slower than the recursive search; ``time_limit`` (seconds)
+    raises :class:`SearchBudgetExceeded` when exceeded so benchmarks can report
+    a lower bound instead of hanging.
+    """
+    start = time.time()
+    factors = factorize_workers(num_workers)
+    if coarse is None:
+        coarse = coarsen(graph)
+    if cost_model is None:
+        cost_model = CommunicationCostModel(graph, allow_reduction=allow_reduction)
+    dp = _FrontierDP(
+        graph,
+        coarse,
+        cost_model,
+        parts_per_step=factors,
+        max_states=max_states,
+        time_limit=time_limit,
+    )
+    cost, tensor_config, strategies = dp.solve()
+
+    steps: List[StepAssignment] = []
+    group_count = 1
+    for i, parts in enumerate(factors):
+        tensor_dims = {t: cfg[i] for t, cfg in tensor_config.items()}
+        step_cost, step_strategies = cost_model.assignment_cost(tensor_dims, parts)
+        steps.append(
+            StepAssignment(
+                parts=parts,
+                tensor_dims=tensor_dims,
+                op_strategies=step_strategies,
+                comm_bytes=step_cost / group_count,
+                weighted_bytes=step_cost,
+                group_count=group_count,
+            )
+        )
+        group_count *= parts
+    plan = PartitionPlan(
+        num_workers=num_workers,
+        steps=steps,
+        search_time_seconds=time.time() - start,
+        algorithm="dp-joint",
+    )
+    return plan
+
+
+def count_joint_configurations(
+    coarse: CoarsenedGraph,
+    cost_model: CommunicationCostModel,
+    num_workers: int,
+) -> Dict[str, float]:
+    """Size of the non-recursive search space, for the Table 1 report."""
+    factors = factorize_workers(num_workers)
+    dp = _FrontierDP(coarse.graph, coarse, cost_model, parts_per_step=factors)
+    per_group_max = 0.0
+    total = 0.0
+    for group in coarse.op_groups:
+        gid = group.gid
+        decision = [
+            tg
+            for tg in coarse.touched_by[gid]
+            if dp.first_toucher[tg] == gid and dp._is_decision_group(tg)
+        ]
+        combos = 1.0
+        for tg in decision:
+            combos *= len(dp.group_candidates(tg))
+        per_group_max = max(per_group_max, combos)
+        total += combos
+    return {
+        "num_op_groups": float(len(coarse.op_groups)),
+        "max_configs_per_group": per_group_max,
+        "total_configs": total,
+    }

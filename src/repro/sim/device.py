@@ -1,0 +1,77 @@
+"""Device and machine models.
+
+The paper's testbed is an EC2 p2.8xlarge: 8 NVIDIA K80 GPUs (GK210 dies) with
+12 GB device memory each, connected by PCI-e with 21 GB/s peer-to-peer
+bandwidth and a 10 GB/s aggregate CPU-GPU link, backed by 488 GB of host
+memory (Sec 7.1).  ``k80_8gpu_machine`` reconstructs that machine; other
+configurations can be built for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A single accelerator device."""
+
+    name: str
+    memory_bytes: int = 12 * GiB
+    peak_flops: float = 2.91e12       # GK210 single-precision peak
+    memory_bandwidth: float = 160e9   # effective HBM/GDDR5 bandwidth
+
+    def fits(self, required_bytes: int) -> bool:
+        return required_bytes <= self.memory_bytes
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A single machine with multiple devices (the paper's setting).
+
+    ``p2p_bandwidth`` is the per-device PCI-e peer-to-peer bandwidth;
+    ``cpu_bandwidth`` is the *aggregate* host link shared by all devices,
+    which is why the swapping baseline collapses when 8 GPUs swap at once
+    (Sec 7.2).
+    """
+
+    devices: List[DeviceSpec]
+    p2p_bandwidth: float = 21e9
+    cpu_bandwidth: float = 10e9
+    cpu_memory: int = 488 * GiB
+    kernel_launch_overhead: float = 8e-6
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    def device(self, index: int) -> DeviceSpec:
+        return self.devices[index]
+
+
+def k80_8gpu_machine(num_gpus: int = 8) -> MachineSpec:
+    """The paper's p2.8xlarge testbed (or a smaller slice of it)."""
+    devices = [DeviceSpec(name=f"gpu{i}") for i in range(num_gpus)]
+    return MachineSpec(devices=devices)
+
+
+def v100_machine(num_gpus: int = 8) -> MachineSpec:
+    """A more modern configuration, used in examples/sensitivity studies."""
+    devices = [
+        DeviceSpec(
+            name=f"gpu{i}",
+            memory_bytes=16 * GiB,
+            peak_flops=15.7e12,
+            memory_bandwidth=900e9,
+        )
+        for i in range(num_gpus)
+    ]
+    return MachineSpec(
+        devices=devices,
+        p2p_bandwidth=150e9,   # NVLink-class
+        cpu_bandwidth=32e9,
+        kernel_launch_overhead=5e-6,
+    )

@@ -1,0 +1,186 @@
+"""Discrete-event simulation of task graphs over a multi-GPU machine.
+
+The simulator executes a graph of tasks where every task runs on a resource:
+compute tasks occupy their device's execution stream, communication tasks
+occupy either the destination device's PCI-e peer-to-peer link or the shared
+CPU link.  Tasks start as soon as their dependencies have finished and their
+resource is free (list scheduling in dependency order), which reproduces the
+first-order behaviour of MXNet's dependency-driven scheduler that the paper's
+evaluation relies on (pipelining across devices, link contention, the shared
+CPU link bottleneck for swapping).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.device import MachineSpec
+
+HOST_DEVICE = -1
+
+
+@dataclass
+class Task:
+    """One schedulable unit.
+
+    ``kind`` is ``"compute"`` (duration given directly) or ``"comm"``
+    (duration derived from ``comm_bytes`` and the channel bandwidth).
+    """
+
+    name: str
+    device: int
+    kind: str = "compute"
+    duration: float = 0.0
+    comm_bytes: float = 0.0
+    channel: str = "p2p"  # "p2p" | "cpu"
+    deps: List[str] = field(default_factory=list)
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one training iteration."""
+
+    iteration_time: float
+    per_device_compute_time: Dict[int, float]
+    per_device_comm_time: Dict[int, float]
+    total_comm_bytes: float
+    peak_memory: Dict[int, int] = field(default_factory=dict)
+    oom: bool = False
+    oom_devices: List[int] = field(default_factory=list)
+    num_tasks: int = 0
+
+    def throughput(self, batch_size: int) -> float:
+        """Training throughput in samples/second."""
+        if self.oom or self.iteration_time <= 0:
+            return 0.0
+        return batch_size / self.iteration_time
+
+    @property
+    def compute_time(self) -> float:
+        return max(self.per_device_compute_time.values(), default=0.0)
+
+    @property
+    def comm_time(self) -> float:
+        return max(self.per_device_comm_time.values(), default=0.0)
+
+    def comm_fraction(self) -> float:
+        """Fraction of the iteration spent on the critical device's comm."""
+        if self.iteration_time <= 0:
+            return 0.0
+        busiest = max(
+            self.per_device_comm_time.values(), default=0.0
+        )
+        return min(1.0, busiest / self.iteration_time)
+
+
+class TaskGraphSimulator:
+    """List-scheduling simulator for one machine."""
+
+    def __init__(self, machine: MachineSpec):
+        self.machine = machine
+
+    def run(
+        self,
+        tasks: Dict[str, Task],
+        *,
+        peak_memory: Optional[Dict[int, int]] = None,
+        check_memory: bool = True,
+    ) -> SimResult:
+        """Simulate ``tasks`` and return timing plus memory verdicts."""
+        order = self._topo_order(tasks)
+
+        device_available: Dict[int, float] = {}
+        link_available: Dict[int, float] = {}
+        cpu_link_available = 0.0
+        finish: Dict[str, float] = {}
+        compute_busy: Dict[int, float] = {}
+        comm_busy: Dict[int, float] = {}
+        total_comm_bytes = 0.0
+
+        for name in order:
+            task = tasks[name]
+            ready = 0.0
+            for dep in task.deps:
+                if dep not in finish:
+                    raise SimulationError(
+                        f"task {name!r} depends on unknown/unfinished task {dep!r}"
+                    )
+                ready = max(ready, finish[dep])
+
+            if task.kind == "compute":
+                start = max(ready, device_available.get(task.device, 0.0))
+                end = start + task.duration
+                device_available[task.device] = end
+                compute_busy[task.device] = (
+                    compute_busy.get(task.device, 0.0) + task.duration
+                )
+            elif task.kind == "comm":
+                if task.channel == "cpu":
+                    bandwidth = self.machine.cpu_bandwidth
+                    start = max(ready, cpu_link_available)
+                    duration = task.comm_bytes / bandwidth if bandwidth else 0.0
+                    end = start + duration
+                    cpu_link_available = end
+                else:
+                    bandwidth = self.machine.p2p_bandwidth
+                    start = max(ready, link_available.get(task.device, 0.0))
+                    duration = task.comm_bytes / bandwidth if bandwidth else 0.0
+                    end = start + duration
+                    link_available[task.device] = end
+                comm_busy[task.device] = comm_busy.get(task.device, 0.0) + (end - start)
+                total_comm_bytes += task.comm_bytes
+            else:
+                raise SimulationError(f"unknown task kind {task.kind!r}")
+            finish[name] = end
+
+        iteration_time = max(finish.values(), default=0.0)
+
+        peak_memory = dict(peak_memory or {})
+        oom_devices: List[int] = []
+        if check_memory:
+            for device_index, required in peak_memory.items():
+                if device_index == HOST_DEVICE:
+                    capacity = self.machine.cpu_memory
+                else:
+                    capacity = self.machine.device(device_index).memory_bytes
+                if required > capacity:
+                    oom_devices.append(device_index)
+
+        return SimResult(
+            iteration_time=iteration_time,
+            per_device_compute_time=compute_busy,
+            per_device_comm_time=comm_busy,
+            total_comm_bytes=total_comm_bytes,
+            peak_memory=peak_memory,
+            oom=bool(oom_devices),
+            oom_devices=sorted(oom_devices),
+            num_tasks=len(tasks),
+        )
+
+    @staticmethod
+    def _topo_order(tasks: Dict[str, Task]) -> List[str]:
+        indegree: Dict[str, int] = {name: 0 for name in tasks}
+        consumers: Dict[str, List[str]] = {name: [] for name in tasks}
+        for name, task in tasks.items():
+            for dep in task.deps:
+                if dep not in tasks:
+                    raise SimulationError(
+                        f"task {name!r} depends on missing task {dep!r}"
+                    )
+                indegree[name] += 1
+                consumers[dep].append(name)
+        ready = deque(name for name, deg in indegree.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.popleft()
+            order.append(name)
+            for consumer in consumers[name]:
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(tasks):
+            raise SimulationError("task graph contains a cycle")
+        return order

@@ -1,0 +1,193 @@
+"""Swapping baseline: single-GPU execution with CPU-memory swapping.
+
+This models the strongest swapping design the paper compares against
+(Sec 7.1): an LRU eviction policy over arbitrary memory blocks, a prefetching
+unit that overlaps host transfers with computation, read-only blocks that are
+dropped instead of copied back, and liveness analysis that releases dead
+blocks immediately.  All eight GPUs share the machine's aggregate CPU link, so
+the per-GPU effective bandwidth shrinks when all of them swap at once — which
+is exactly why swapping loses to Tofu for large models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.graph.graph import Graph
+from repro.graph.scheduler import liveness, topo_schedule
+from repro.sim.costmodel import node_kernel_time
+from repro.sim.device import MachineSpec
+
+
+@dataclass
+class SwapResult:
+    """Outcome of simulating one training iteration with swapping."""
+
+    iteration_time: float
+    compute_time: float
+    transfer_time: float
+    swapped_in_bytes: float
+    swapped_out_bytes: float
+    oom: bool = False
+
+    def throughput(self, batch_size: int) -> float:
+        if self.oom or self.iteration_time <= 0:
+            return 0.0
+        return batch_size / self.iteration_time
+
+
+def simulate_with_swapping(
+    graph: Graph,
+    machine: MachineSpec,
+    *,
+    device_index: int = 0,
+    concurrent_gpus: Optional[int] = None,
+    prefetch: bool = True,
+    warm_iterations: int = 1,
+) -> SwapResult:
+    """Simulate one steady-state training iteration with swapping.
+
+    ``concurrent_gpus`` is how many GPUs share the host link (all of them for
+    the data-parallel swapping baseline); ``warm_iterations`` runs the
+    schedule that many extra times first so that the reported iteration starts
+    from the steady-state resident set.
+    """
+    device = machine.device(device_index)
+    if concurrent_gpus is None:
+        concurrent_gpus = machine.num_devices
+    cpu_bandwidth = machine.cpu_bandwidth / max(1, concurrent_gpus)
+    capacity = device.memory_bytes
+
+    schedule = topo_schedule(graph)
+    intervals = liveness(graph, schedule)
+
+    # In-place updates (optimiser steps, fused gradient accumulation) alias
+    # their source buffer; track residency per buffer root so an updated
+    # weight does not occupy memory twice.
+    alias_of = {}
+    for node in graph.nodes.values():
+        pos = node.attrs.get("inplace")
+        if pos is None:
+            continue
+        source = node.inputs[int(pos)]
+        for out in node.outputs:
+            if graph.tensor(out).size_bytes() <= graph.tensor(source).size_bytes():
+                alias_of[out] = source
+
+    def root_of(name: str) -> str:
+        seen = set()
+        while name in alias_of and name not in seen:
+            seen.add(name)
+            name = alias_of[name]
+        return name
+
+    # A buffer root stays live until the last use of any of its aliases.
+    for name in graph.tensors:
+        root = root_of(name)
+        if root != name:
+            birth, death = intervals[root]
+            intervals[root] = (birth, max(death, intervals[name][1]))
+
+    sizes = {name: graph.tensor(root_of(name)).size_bytes() for name in graph.tensors}
+    persistent = {
+        name for name, spec in graph.tensors.items()
+        if spec.is_persistent() or spec.kind in ("data", "output")
+    }
+    persistent |= {name for name in graph.tensors if root_of(name) in persistent}
+
+    resident: Dict[str, int] = {}
+    dirty: Set[str] = set()
+    last_touch: Dict[str, int] = {}
+    clock = 0
+    resident_bytes = 0
+
+    result: Optional[SwapResult] = None
+    for iteration in range(warm_iterations + 1):
+        compute_time = 0.0
+        transfer_time = 0.0
+        iteration_time = 0.0
+        swapped_in = 0.0
+        swapped_out = 0.0
+        oom = False
+
+        for step, node_name in enumerate(schedule):
+            node = graph.node(node_name)
+            clock += 1
+            input_roots = [root_of(t) for t in node.inputs]
+            needed = list(dict.fromkeys(input_roots + [root_of(t) for t in node.outputs]))
+            working_set = sum(sizes[t] for t in needed)
+            if working_set > capacity:
+                oom = True
+                break
+
+            moved_in = 0.0
+            moved_out = 0.0
+            for tensor in needed:
+                if tensor in resident:
+                    last_touch[tensor] = clock
+                    continue
+                size = sizes[tensor]
+                # Evict LRU blocks until the tensor fits.
+                while resident_bytes + size > capacity and resident:
+                    victim = min(
+                        (t for t in resident if t not in needed),
+                        key=lambda t: last_touch.get(t, 0),
+                        default=None,
+                    )
+                    if victim is None:
+                        break
+                    resident_bytes -= resident.pop(victim)
+                    if victim in dirty:
+                        moved_out += sizes[victim]
+                        dirty.discard(victim)
+                if resident_bytes + size > capacity:
+                    oom = True
+                    break
+                # Outputs are allocated, not fetched; inputs produced earlier
+                # (or previously evicted weights) must be swapped back in.
+                if tensor in input_roots and (
+                    graph.tensor(tensor).producer is not None
+                    or tensor in persistent
+                    or iteration == 0
+                ):
+                    moved_in += size
+                resident[tensor] = size
+                resident_bytes += size
+                last_touch[tensor] = clock
+            if oom:
+                break
+            for out in node.outputs:
+                dirty.add(root_of(out))
+
+            node_compute = node_kernel_time(graph, node_name, device, machine)
+            node_transfer = (moved_in + moved_out) / cpu_bandwidth
+            compute_time += node_compute
+            transfer_time += node_transfer
+            swapped_in += moved_in
+            swapped_out += moved_out
+            if prefetch:
+                iteration_time += max(node_compute, node_transfer)
+            else:
+                iteration_time += node_compute + node_transfer
+
+            # Drop transient tensors that are now dead (liveness analysis).
+            for tensor in needed:
+                if tensor in persistent:
+                    continue
+                if intervals[tensor][1] <= step and tensor in resident:
+                    resident_bytes -= resident.pop(tensor)
+                    dirty.discard(tensor)
+
+        result = SwapResult(
+            iteration_time=iteration_time,
+            compute_time=compute_time,
+            transfer_time=transfer_time,
+            swapped_in_bytes=swapped_in,
+            swapped_out_bytes=swapped_out,
+            oom=oom,
+        )
+        if oom:
+            break
+    assert result is not None
+    return result

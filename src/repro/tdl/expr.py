@@ -1,0 +1,219 @@
+"""Abstract syntax tree for the Tensor Description Language (TDL).
+
+TDL follows the paper's "tensor-as-a-lambda" idea (Sec 4.1): the output of an
+operator is a lambda from index variables to a scalar expression over the
+inputs.  Expressions are side-effect free and consist of index variables,
+tensor element accesses, arithmetic, reductions and opaque function calls.
+
+The AST deliberately supports only what the analysis needs; it is not a code
+generator (unlike TVM / Tensor Comprehensions, as the paper notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TDLError
+
+Number = Union[int, float]
+
+
+class Expr:
+    """Base class of all TDL expressions."""
+
+    # Arithmetic sugar so descriptions read naturally (a[i] * b[i] + 1).
+    def __add__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("+", self, wrap(other))
+
+    def __radd__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("+", wrap(other), self)
+
+    def __sub__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("-", self, wrap(other))
+
+    def __rsub__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("-", wrap(other), self)
+
+    def __mul__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("*", self, wrap(other))
+
+    def __rmul__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("*", wrap(other), self)
+
+    def __truediv__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("/", self, wrap(other))
+
+    def __rtruediv__(self, other: "ExprLike") -> "BinaryOp":
+        return BinaryOp("/", wrap(other), self)
+
+    def __neg__(self) -> "BinaryOp":
+        return BinaryOp("*", Const(-1), self)
+
+    def children(self) -> Sequence["Expr"]:
+        return ()
+
+
+ExprLike = Union[Expr, Number]
+
+
+def wrap(value: ExprLike) -> Expr:
+    """Coerce Python numbers into :class:`Const` expressions."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Const(value)
+    raise TDLError(f"cannot use {value!r} in a TDL expression")
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: Number
+
+
+@dataclass(frozen=True, eq=False)
+class IndexVar(Expr):
+    """An index variable: either an output index or a reduction index.
+
+    Each index variable ranges over ``[0, extent)`` where the extent is
+    symbolic during analysis (Sec 4.2).
+    """
+
+    name: str
+    kind: str = "output"  # "output" | "reduction"
+
+    def __repr__(self) -> str:
+        return f"IndexVar({self.name}, {self.kind})"
+
+
+class TensorArg:
+    """Placeholder for an operator input tensor inside a TDL description.
+
+    Indexing a :class:`TensorArg` produces a :class:`TensorAccess` expression.
+    ``tensor[b, :, :]`` (slices) is syntactic sugar used by opaque-function
+    descriptions such as ``batch_cholesky``.
+    """
+
+    def __init__(self, name: str, position: int):
+        self.name = name
+        self.position = position
+
+    def __getitem__(self, indices) -> "TensorAccess":
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        parsed: List[Union[Expr, "FullSlice"]] = []
+        for idx in indices:
+            if isinstance(idx, slice):
+                if idx.start is not None or idx.stop is not None or idx.step is not None:
+                    raise TDLError("only full slices ':' are supported in TDL")
+                parsed.append(FullSlice())
+            else:
+                parsed.append(wrap(idx))
+        return TensorAccess(self, tuple(parsed))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TensorArg({self.name})"
+
+
+@dataclass(frozen=True)
+class FullSlice:
+    """Marker for a ``:`` (whole dimension) index."""
+
+
+@dataclass(frozen=True, eq=False)
+class TensorAccess(Expr):
+    """An element (or slice) read of an input tensor."""
+
+    tensor: TensorArg
+    indices: Tuple[Union[Expr, FullSlice], ...]
+
+    def children(self) -> Sequence[Expr]:
+        return tuple(i for i in self.indices if isinstance(i, Expr))
+
+
+@dataclass(frozen=True, eq=False)
+class BinaryOp(Expr):
+    """Arithmetic between two TDL expressions."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/", "max", "min", "pow"):
+            raise TDLError(f"unsupported arithmetic operator {self.op!r}")
+
+    def children(self) -> Sequence[Expr]:
+        return (self.lhs, self.rhs)
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """A call to a scalar builtin (exp, log, sqrt, tanh, ...)."""
+
+    fn: str
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Sequence[Expr]:
+        return self.args
+
+
+@dataclass(frozen=True, eq=False)
+class Reduce(Expr):
+    """Reduction of an inner lambda over one or more reduction variables."""
+
+    reducer: str  # "sum" | "max" | "min" | "prod"
+    variables: Tuple[IndexVar, ...]
+    body: Expr
+
+    def children(self) -> Sequence[Expr]:
+        return (self.body,)
+
+
+@dataclass(frozen=True, eq=False)
+class OpaqueCall(Expr):
+    """A call to an opaque function over tensor slices (Sec 4.1).
+
+    Opaque calls hide the computation entirely; the only information the
+    analysis can exploit is which indices select the slice (e.g. the batch
+    dimension of ``batch_cholesky``) and which indices address the result.
+    """
+
+    fn_name: str
+    arguments: Tuple[TensorAccess, ...]
+    result_indices: Tuple[Expr, ...] = field(default=())
+
+    def __getitem__(self, indices) -> "OpaqueCall":
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        parsed = tuple(wrap(i) for i in indices)
+        return OpaqueCall(self.fn_name, self.arguments, parsed)
+
+    def children(self) -> Sequence[Expr]:
+        out: List[Expr] = list(self.arguments)
+        out.extend(self.result_indices)
+        return tuple(out)
+
+
+def walk(expr: Expr):
+    """Yield every sub-expression of ``expr`` (pre-order)."""
+    yield expr
+    for child in expr.children():
+        yield from walk(child)
+
+
+def find_tensor_accesses(expr: Expr) -> List[TensorAccess]:
+    """All tensor element accesses appearing in ``expr``."""
+    return [e for e in walk(expr) if isinstance(e, TensorAccess)]
+
+
+def find_reductions(expr: Expr) -> List[Reduce]:
+    """All reduction nodes appearing in ``expr``."""
+    return [e for e in walk(expr) if isinstance(e, Reduce)]
+
+
+def find_opaque_calls(expr: Expr) -> List[OpaqueCall]:
+    """All opaque function calls appearing in ``expr``."""
+    return [e for e in walk(expr) if isinstance(e, OpaqueCall)]

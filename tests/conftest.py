@@ -1,0 +1,36 @@
+"""Shared fixtures: small model bundles reused across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.mlp import build_mlp
+from repro.models.resnet import build_wide_resnet
+from repro.models.rnn import build_rnn
+
+
+@pytest.fixture(scope="session")
+def mlp_bundle():
+    """A small MLP training graph (fast to build and partition)."""
+    return build_mlp(batch_size=32, input_dim=256, hidden_dim=256, num_layers=3,
+                     num_classes=64)
+
+
+@pytest.fixture(scope="session")
+def rnn_bundle():
+    """A tiny 2-layer LSTM unrolled for 4 timesteps."""
+    return build_rnn(num_layers=2, hidden_size=128, seq_len=4, batch_size=16)
+
+
+@pytest.fixture(scope="session")
+def cnn_bundle():
+    """A tiny Wide ResNet-50 on small images (exercises conv/pool/BN paths)."""
+    return build_wide_resnet(depth=50, widen=1, batch_size=4, image_size=32,
+                             num_classes=16)
+
+
+@pytest.fixture(scope="session")
+def mlp_inference_bundle():
+    """Forward-only MLP graph (no autodiff metadata)."""
+    return build_mlp(batch_size=16, input_dim=64, hidden_dim=64, num_layers=2,
+                     num_classes=8, training=False)

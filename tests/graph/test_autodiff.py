@@ -1,0 +1,133 @@
+"""Tests for reverse-mode autodiff and the optimiser pass."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.autodiff import build_backward, build_optimizer
+from repro.graph.builder import GraphBuilder
+
+
+def _forward_builder():
+    b = GraphBuilder("fwd")
+    x = b.data("x", (8, 16))
+    w1 = b.weight("w1", (16, 16))
+    w2 = b.weight("w2", (16, 4))
+    h = b.matmul(x, w1, name="fc1")
+    h = b.relu(h, name="act1")
+    logits = b.matmul(h, w2, name="fc2")
+    labels = b.input("labels", (8,), kind="data")
+    loss_vec = b.apply("softmax_cross_entropy", [logits, labels], name="ce")
+    loss = b.apply("reduce_mean_all", [loss_vec], name="loss")
+    return b, loss, [w1, w2], x
+
+
+class TestBackward:
+    def test_every_weight_gets_a_gradient(self):
+        b, loss, weights, _ = _forward_builder()
+        grad_map = build_backward(b, loss, weights)
+        for w in weights:
+            assert w in grad_map
+            assert grad_map[w] in b.graph.tensors
+
+    def test_gradient_tensors_tagged(self):
+        b, loss, weights, _ = _forward_builder()
+        grad_map = build_backward(b, loss, weights)
+        for w in weights:
+            assert b.graph.tensor(grad_map[w]).kind == "gradient"
+
+    def test_gradient_shapes_match_weights(self):
+        b, loss, weights, _ = _forward_builder()
+        grad_map = build_backward(b, loss, weights)
+        for w in weights:
+            assert b.graph.tensor(grad_map[w]).shape == b.graph.tensor(w).shape
+
+    def test_data_gradient_shape(self):
+        b, loss, weights, x = _forward_builder()
+        grad_map = build_backward(b, loss, weights)
+        assert b.graph.tensor(grad_map[x]).shape == b.graph.tensor(x).shape
+
+    def test_metadata_recorded(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        meta = b.graph.metadata
+        assert meta["loss"] == loss
+        assert set(meta["weights"]) == set(weights)
+        assert "bwd_nodes_of" in meta and meta["bwd_nodes_of"]
+        assert "forward_nodes" in meta
+
+    def test_backward_nodes_attributed_to_forward_nodes(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        bwd = b.graph.metadata["bwd_nodes_of"]
+        # The matmul nodes must have generated backward matmuls.
+        assert any(n.startswith("fc1") for n in bwd)
+        for nodes in bwd.values():
+            for node in nodes:
+                assert node in b.graph.nodes
+
+    def test_shared_weight_gradients_are_summed(self):
+        b = GraphBuilder()
+        x = b.data("x", (4, 8))
+        w = b.weight("w", (8, 8))
+        h = b.matmul(x, w, name="a")
+        h = b.matmul(h, w, name="b")  # same weight used twice
+        loss = b.apply("reduce_mean_all", [h], name="loss")
+        grad_map = build_backward(b, loss, [w])
+        grad = grad_map[w]
+        producer = b.graph.producer_of(grad)
+        assert producer is not None and producer.op == "add"
+
+    def test_missing_loss_rejected(self):
+        b, loss, weights, _ = _forward_builder()
+        with pytest.raises(GraphError):
+            build_backward(b, "not_a_tensor", weights)
+
+    def test_unreachable_weight_rejected(self):
+        b, loss, weights, _ = _forward_builder()
+        orphan = b.weight("orphan", (4, 4))
+        with pytest.raises(GraphError):
+            build_backward(b, loss, weights + [orphan])
+
+    def test_graph_valid_after_backward(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        b.finish(validate=True)
+
+
+class TestOptimizer:
+    def test_requires_backward_first(self):
+        b, loss, weights, _ = _forward_builder()
+        with pytest.raises(GraphError):
+            build_optimizer(b, weights)
+
+    def test_adagrad_creates_history_state(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        build_optimizer(b, weights, algorithm="adagrad")
+        for w in weights:
+            assert f"{w}_hist" in b.graph.tensors
+            assert b.graph.tensor(f"{w}_hist").kind == "state"
+
+    def test_sgd_has_no_history(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        build_optimizer(b, weights, algorithm="sgd")
+        for w in weights:
+            assert f"{w}_hist" not in b.graph.tensors
+
+    def test_unknown_optimizer_rejected(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        with pytest.raises(GraphError):
+            build_optimizer(b, weights, algorithm="lion")
+
+    def test_optimizer_nodes_are_inplace(self):
+        b, loss, weights, _ = _forward_builder()
+        build_backward(b, loss, weights)
+        build_optimizer(b, weights)
+        opt_nodes = b.graph.metadata["optimizer_nodes_of"]
+        assert set(opt_nodes) == set(weights)
+        for nodes in opt_nodes.values():
+            assert any(
+                b.graph.node(n).attrs.get("inplace") is not None for n in nodes
+            )

@@ -1,0 +1,97 @@
+"""Tests for GraphBuilder and whole-graph shape checking."""
+
+import pytest
+
+from repro.errors import ShapeError, UnknownOperatorError
+from repro.graph.builder import GraphBuilder
+from repro.graph.shape_inference import check_shapes, graph_flops, node_flops
+
+
+class TestBuilder:
+    def test_matmul_shapes(self):
+        b = GraphBuilder()
+        x = b.data("x", (8, 16))
+        w = b.weight("w", (16, 32))
+        y = b.matmul(x, w)
+        assert b.tensor_shape(y) == (8, 32)
+
+    def test_shape_error_surfaces_at_build_time(self):
+        b = GraphBuilder()
+        x = b.data("x", (8, 16))
+        w = b.weight("w", (8, 32))
+        with pytest.raises(ShapeError):
+            b.matmul(x, w)
+
+    def test_unknown_op_rejected(self):
+        b = GraphBuilder()
+        x = b.data("x", (8,))
+        with pytest.raises(UnknownOperatorError):
+            b.apply("totally_not_an_op", [x])
+
+    def test_unique_names_generated(self):
+        b = GraphBuilder()
+        x = b.data("x", (4, 4))
+        a = b.relu(x, name="act")
+        c = b.relu(x, name="act")
+        assert a != c
+        assert a in b.graph.tensors and c in b.graph.tensors
+
+    def test_default_kind_controls_tensor_kind(self):
+        b = GraphBuilder()
+        x = b.data("x", (4, 4))
+        y = b.relu(x)
+        assert b.graph.tensor(y).kind == "activation"
+        b.default_kind = "gradient"
+        z = b.relu(x)
+        assert b.graph.tensor(z).kind == "gradient"
+
+    def test_conv2d_helper(self):
+        b = GraphBuilder()
+        x = b.data("x", (2, 3, 16, 16))
+        w = b.weight("w", (8, 3, 3, 3))
+        y = b.conv2d(x, w, stride=2)
+        assert b.tensor_shape(y) == (2, 8, 8, 8)
+
+    def test_mark_output(self):
+        b = GraphBuilder()
+        x = b.data("x", (4,))
+        y = b.relu(x)
+        b.mark_output(y)
+        assert b.graph.tensor(y).kind == "output"
+
+    def test_finish_validates(self):
+        b = GraphBuilder()
+        x = b.data("x", (4, 4))
+        b.relu(x)
+        g = b.finish()
+        assert g.num_nodes() == 1
+
+
+class TestShapeChecking:
+    def test_check_shapes_on_built_graph(self, mlp_bundle):
+        shapes = check_shapes(mlp_bundle.graph)
+        assert shapes["data"] == mlp_bundle.graph.tensor("data").shape
+
+    def test_check_shapes_detects_corruption(self):
+        b = GraphBuilder()
+        x = b.data("x", (8, 16))
+        w = b.weight("w", (16, 32))
+        y = b.matmul(x, w)
+        g = b.finish()
+        g.tensor(y).shape = (8, 33)
+        with pytest.raises(ShapeError):
+            check_shapes(g)
+
+    def test_flops_positive_and_additive(self, mlp_bundle):
+        total = graph_flops(mlp_bundle.graph)
+        assert total > 0
+        assert total == pytest.approx(
+            sum(node_flops(mlp_bundle.graph, n) for n in mlp_bundle.graph.nodes)
+        )
+
+    def test_matmul_flops_value(self):
+        b = GraphBuilder()
+        x = b.data("x", (8, 16))
+        w = b.weight("w", (16, 32))
+        b.matmul(x, w, name="mm")
+        assert node_flops(b.graph, "mm") == 2 * 8 * 32 * 16

@@ -1,0 +1,106 @@
+"""Tests for the dataflow graph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.graph import Graph
+from repro.graph.node import OpNode
+from repro.graph.tensor import TensorSpec
+
+
+def _simple_graph() -> Graph:
+    g = Graph("g")
+    g.add_tensor(TensorSpec("x", (4, 4), kind="data"))
+    g.add_tensor(TensorSpec("w", (4, 4), kind="weight"))
+    g.add_tensor(TensorSpec("y", (4, 4)))
+    g.add_tensor(TensorSpec("z", (4, 4)))
+    g.add_node(OpNode("mm", "matmul", ["x", "w"], ["y"]))
+    g.add_node(OpNode("act", "relu", ["y"], ["z"]))
+    return g
+
+
+class TestGraphConstruction:
+    def test_duplicate_tensor_rejected(self):
+        g = Graph()
+        g.add_tensor(TensorSpec("x", (1,)))
+        with pytest.raises(GraphError):
+            g.add_tensor(TensorSpec("x", (2,)))
+
+    def test_duplicate_node_rejected(self):
+        g = _simple_graph()
+        with pytest.raises(GraphError):
+            g.add_node(OpNode("mm", "matmul", ["x", "w"], ["y"]))
+
+    def test_unknown_input_rejected(self):
+        g = Graph()
+        g.add_tensor(TensorSpec("out", (1,)))
+        with pytest.raises(GraphError):
+            g.add_node(OpNode("n", "relu", ["missing"], ["out"]))
+
+    def test_unknown_output_rejected(self):
+        g = Graph()
+        g.add_tensor(TensorSpec("in", (1,)))
+        with pytest.raises(GraphError):
+            g.add_node(OpNode("n", "relu", ["in"], ["missing"]))
+
+    def test_double_producer_rejected(self):
+        g = _simple_graph()
+        with pytest.raises(GraphError):
+            g.add_node(OpNode("again", "relu", ["x"], ["y"]))
+
+    def test_producer_recorded(self):
+        g = _simple_graph()
+        assert g.tensor("y").producer == "mm"
+        assert g.producer_of("y").name == "mm"
+        assert g.producer_of("x") is None
+
+
+class TestGraphQueries:
+    def test_consumers(self):
+        g = _simple_graph()
+        assert [n.name for n in g.consumers_of("y")] == ["act"]
+        assert g.consumers_of("z") == []
+
+    def test_inputs_and_outputs(self):
+        g = _simple_graph()
+        assert {t.name for t in g.graph_inputs()} == {"x", "w"}
+        assert {t.name for t in g.graph_outputs()} == {"z"}
+
+    def test_topo_order(self):
+        g = _simple_graph()
+        order = [n.name for n in g.topo_order()]
+        assert order.index("mm") < order.index("act")
+
+    def test_topo_order_detects_cycle(self):
+        g = Graph()
+        g.add_tensor(TensorSpec("a", (1,)))
+        g.add_tensor(TensorSpec("b", (1,)))
+        g.add_node(OpNode("n1", "relu", ["a"], ["b"]))
+        g.add_node(OpNode("n2", "relu", ["b"], ["a"]))
+        with pytest.raises(GraphError):
+            g.topo_order()
+
+    def test_validate_passes_on_well_formed_graph(self):
+        _simple_graph().validate()
+
+    def test_unknown_tensor_lookup(self):
+        g = _simple_graph()
+        with pytest.raises(GraphError):
+            g.tensor("nope")
+        with pytest.raises(GraphError):
+            g.node("nope")
+
+    def test_total_bytes_by_kind(self):
+        g = _simple_graph()
+        assert g.total_bytes(kinds=("weight",)) == 4 * 4 * 4
+        assert g.weight_bytes() == 4 * 4 * 4
+        assert g.total_bytes() == 4 * (4 * 4 * 4)
+
+    def test_op_histogram(self):
+        g = _simple_graph()
+        assert g.op_histogram() == {"matmul": 1, "relu": 1}
+
+    def test_counts(self):
+        g = _simple_graph()
+        assert g.num_nodes() == 2
+        assert g.num_tensors() == 4

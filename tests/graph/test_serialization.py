@@ -1,0 +1,57 @@
+"""Tests for graph JSON serialisation."""
+
+import json
+
+from repro.graph.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.graph.shape_inference import check_shapes
+
+
+class TestSerialization:
+    def test_round_trip_preserves_structure(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        restored = graph_from_dict(graph_to_dict(graph))
+        assert restored.num_nodes() == graph.num_nodes()
+        assert restored.num_tensors() == graph.num_tensors()
+        assert set(restored.nodes) == set(graph.nodes)
+        assert set(restored.tensors) == set(graph.tensors)
+
+    def test_round_trip_preserves_shapes_and_kinds(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        restored = graph_from_json(graph_to_json(graph))
+        for name, spec in graph.tensors.items():
+            assert restored.tensor(name).shape == spec.shape
+            assert restored.tensor(name).kind == spec.kind
+
+    def test_round_trip_preserves_attrs(self, cnn_bundle):
+        graph = cnn_bundle.graph
+        restored = graph_from_json(graph_to_json(graph))
+        for name, node in graph.nodes.items():
+            rnode = restored.node(name)
+            assert rnode.op == node.op
+            for key, value in node.attrs.items():
+                assert rnode.attrs.get(key) == value
+
+    def test_restored_graph_passes_shape_check(self, mlp_bundle):
+        restored = graph_from_json(graph_to_json(mlp_bundle.graph))
+        check_shapes(restored)
+
+    def test_json_is_valid_json(self, mlp_bundle):
+        payload = json.loads(graph_to_json(mlp_bundle.graph))
+        assert "nodes" in payload and "tensors" in payload
+
+    def test_metadata_serialised_when_jsonable(self, mlp_bundle):
+        payload = graph_to_dict(mlp_bundle.graph)
+        assert "weights" in payload["metadata"]
+
+    def test_file_round_trip(self, tmp_path, mlp_bundle):
+        path = tmp_path / "graph.json"
+        save_graph(mlp_bundle.graph, str(path))
+        restored = load_graph(str(path))
+        assert restored.num_nodes() == mlp_bundle.graph.num_nodes()

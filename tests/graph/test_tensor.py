@@ -1,0 +1,79 @@
+"""Tests for tensor metadata."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.graph.tensor import DTYPE_SIZES, TensorSpec, split_dim, validate_shape
+
+
+class TestTensorSpec:
+    def test_basic_properties(self):
+        spec = TensorSpec("a", (4, 8), dtype="float32", kind="weight")
+        assert spec.ndim == 2
+        assert spec.num_elements() == 32
+        assert spec.size_bytes() == 32 * 4
+
+    def test_scalar_tensor(self):
+        spec = TensorSpec("s", ())
+        assert spec.num_elements() == 1
+        assert spec.size_bytes() == 4
+
+    def test_float16_size(self):
+        spec = TensorSpec("h", (10,), dtype="float16")
+        assert spec.size_bytes() == 20
+
+    def test_all_dtypes_have_sizes(self):
+        for dtype, size in DTYPE_SIZES.items():
+            spec = TensorSpec("t", (3,), dtype=dtype)
+            assert spec.size_bytes() == 3 * size
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("bad", (1,), dtype="complex128")
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("bad", (1,), kind="mystery")
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            TensorSpec("bad", (4, -1))
+
+    def test_zero_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            validate_shape((0, 3))
+
+    def test_with_shape_copies(self):
+        spec = TensorSpec("a", (4, 8))
+        other = spec.with_shape((2, 8))
+        assert other.shape == (2, 8)
+        assert spec.shape == (4, 8)
+        assert other.name == "a"
+
+    def test_persistence(self):
+        assert TensorSpec("w", (1,), kind="weight").is_persistent()
+        assert TensorSpec("s", (1,), kind="state").is_persistent()
+        assert not TensorSpec("a", (1,), kind="activation").is_persistent()
+        assert not TensorSpec("d", (1,), kind="data").is_persistent()
+
+
+class TestSplitDim:
+    def test_even_split(self):
+        assert split_dim((8, 4), 0, 2) == (4, 4)
+        assert split_dim((8, 4), 1, 4) == (8, 1)
+
+    def test_uneven_split_rounds_up(self):
+        assert split_dim((7, 4), 0, 2) == (4, 4)
+        assert split_dim((9, 4), 0, 4) == (3, 4)
+
+    def test_split_smaller_than_parts(self):
+        # A size-1 dimension split into 2 keeps shard size 1 (replication).
+        assert split_dim((1, 4), 0, 2) == (1, 4)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ShapeError):
+            split_dim((4, 4), 2, 2)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ShapeError):
+            split_dim((4, 4), 0, 0)

@@ -1,0 +1,132 @@
+"""Tests for symbolic execution of TDL descriptions (Sec 4.2)."""
+
+import pytest
+
+from repro import tdl
+from repro.errors import NonAffineError, TDLError
+from repro.interval.analysis import analyze, analyze_cached
+from repro.tdl import Opaque, Sum
+
+
+@tdl.op
+def conv1d(data, filters):
+    return lambda b, co, x: Sum(lambda ci, dx: data[b, ci, x + dx] * filters[ci, co, dx])
+
+
+class TestAnalyzeConv1d:
+    """The paper's running example (Fig. 1-3)."""
+
+    def test_variable_classification(self):
+        summary = analyze(conv1d)
+        assert summary.output_vars == ["b", "co", "x"]
+        assert summary.reduction_vars == ["ci", "dx"]
+        assert summary.var_kinds["b"] == "output"
+        assert summary.var_kinds["ci"] == "reduction"
+        assert summary.reducer_of == {"ci": "sum", "dx": "sum"}
+
+    def test_data_access_pattern(self):
+        summary = analyze(conv1d)
+        data = summary.inputs["data"]
+        assert len(data) == 3
+        assert data[0].variables == {"b"}
+        assert data[1].variables == {"ci"}
+        assert data[2].variables == {"x", "dx"}  # the halo dimension
+
+    def test_filters_access_pattern(self):
+        summary = analyze(conv1d)
+        filters = summary.inputs["filters"]
+        assert [d.variables for d in filters] == [{"ci"}, {"co"}, {"dx"}]
+
+    def test_dims_driven_by(self):
+        summary = analyze(conv1d)
+        assert summary.dims_driven_by("data", "b") == [0]
+        assert summary.dims_driven_by("data", "x") == [2]
+        assert summary.dims_driven_by("filters", "b") == []
+
+    def test_needed_length_with_halo(self):
+        summary = analyze(conv1d)
+        halo_dim = summary.inputs["data"][2]
+        # Full x range [0, X) plus a window of DX: needs X + DX indices.
+        assert halo_dim.needed_length({"x": 16, "dx": 3}, 19) == pytest.approx(19)
+        # Halved x range still needs the halo.
+        assert halo_dim.needed_length({"x": 8, "dx": 3}, 19) == pytest.approx(11)
+
+    def test_not_elementwise(self):
+        assert not analyze(conv1d).elementwise
+
+
+class TestAnalyzeSpecialCases:
+    def test_elementwise_detected(self):
+        @tdl.op
+        def add2(a, b):
+            return lambda i, j: a[i, j] + b[i, j]
+
+        assert analyze(add2).elementwise
+
+    def test_full_slice_marks_dimension_full(self):
+        @tdl.op
+        def chol(batch_mat):
+            f = Opaque("cholesky")
+            return lambda b, i, j: f(batch_mat[b, :, :])[i, j]
+
+        summary = analyze(chol)
+        dims = summary.inputs["batch_mat"]
+        assert not dims[0].full and dims[1].full and dims[2].full
+
+    def test_opaque_result_indices_blocked(self):
+        @tdl.op
+        def chol(batch_mat):
+            f = Opaque("cholesky")
+            return lambda b, i, j: f(batch_mat[b, :, :])[i, j]
+
+        summary = analyze(chol)
+        assert summary.blocked_vars == {"i", "j"}
+        assert summary.has_opaque
+
+    def test_shift_two_example(self):
+        # The shift_two example from Sec 4.2.
+        @tdl.op
+        def shift_two(a):
+            return lambda i: a[i + 2]
+
+        summary = analyze(shift_two)
+        interval = summary.inputs["a"][0].intervals[0]
+        assert interval.evaluate({"i": 10}) == (2, 12)
+
+    def test_scaled_index(self):
+        @tdl.op
+        def strided(a):
+            return lambda i: a[i * 2]
+
+        summary = analyze(strided)
+        interval = summary.inputs["a"][0].intervals[0]
+        assert interval.evaluate({"i": 8}) == (0, 16)
+
+    def test_non_affine_index_rejected(self):
+        @tdl.op
+        def weird(a):
+            return lambda i, j: a[i * j]
+
+        with pytest.raises(NonAffineError):
+            analyze(weird)
+
+    def test_duplicate_variable_names_rejected(self):
+        @tdl.op
+        def shadowed(a):
+            return lambda i: Sum(lambda i: a[i])  # noqa: E731 - deliberate shadowing
+
+        with pytest.raises(TDLError):
+            analyze(shadowed)
+
+    def test_multiple_accesses_merged(self):
+        @tdl.op
+        def stencil(a):
+            return lambda i: a[i] + a[i + 1] + a[i + 2]
+
+        summary = analyze(stencil)
+        dim = summary.inputs["a"][0]
+        assert len(dim.intervals) == 3
+        assert dim.needed_length({"i": 10}, 12) == pytest.approx(12)
+
+    def test_cache_returns_same_object(self):
+        assert analyze_cached(conv1d) is analyze_cached(conv1d)

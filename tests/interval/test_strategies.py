@@ -1,0 +1,134 @@
+"""Tests for partition-n-reduce strategy discovery (Sec 3.1 / 4.2)."""
+
+import pytest
+
+from repro import tdl
+from repro.interval.analysis import analyze
+from repro.interval.strategies import (
+    bind_extents,
+    discover_strategies,
+    worker_input_elements,
+    worker_output_elements,
+)
+from repro.tdl import Opaque, Sum
+from repro.tdl.registry import get_description
+
+
+@tdl.op
+def conv1d(data, filters):
+    return lambda b, co, x: Sum(lambda ci, dx: data[b, ci, x + dx] * filters[ci, co, dx])
+
+
+class TestDiscovery:
+    def test_conv1d_has_output_and_reduction_strategies(self):
+        strategies = discover_strategies(conv1d)
+        axes = {s.axis for s in strategies}
+        assert axes == {"b", "co", "x", "ci", "dx"}
+        kinds = {s.axis: s.kind for s in strategies}
+        assert kinds["b"] == "output" and kinds["ci"] == "reduction"
+
+    def test_figure2a_batch_partition(self):
+        """Fig. 2(a): partition along b — half of data, all of filters."""
+        strategies = {s.axis: s for s in discover_strategies(conv1d)}
+        batch = strategies["b"]
+        assert batch.input_dim("data") == 0
+        assert batch.input_dim("filters") is None
+        assert batch.output_dim == 0 and not batch.needs_reduction
+
+    def test_figure2b_channel_reduction(self):
+        """Fig. 2(b): partition along ci — both inputs halved, output reduced."""
+        strategies = {s.axis: s for s in discover_strategies(conv1d)}
+        chan = strategies["ci"]
+        assert chan.needs_reduction and chan.reducer == "sum"
+        assert chan.input_dim("data") == 1
+        assert chan.input_dim("filters") == 0
+        assert chan.output_dim is None
+
+    def test_no_reduction_flag_reproduces_icml18(self):
+        strategies = discover_strategies(conv1d, allow_reduction=False)
+        assert all(s.kind == "output" for s in strategies)
+        assert {s.axis for s in strategies} == {"b", "co", "x"}
+
+    def test_matmul_strategies(self):
+        matmul = get_description("matmul")
+        strategies = {s.axis: s for s in discover_strategies(matmul)}
+        assert strategies["m"].input_dim("a") == 0
+        assert strategies["m"].input_dim("b") is None
+        assert strategies["n"].input_dim("b") == 1
+        assert strategies["k"].needs_reduction
+
+    def test_opaque_batch_only(self):
+        chol = get_description("batch_cholesky")
+        strategies = discover_strategies(chol)
+        assert [s.axis for s in strategies] == ["b"]
+
+    def test_describe_is_readable(self):
+        text = discover_strategies(conv1d)[0].describe()
+        assert "conv1d" in text and "split" in text
+
+
+class TestRegionSizes:
+    def _summary_extents(self, batch=8, cin=4, cout=6, x=16, dx=3):
+        summary = analyze(conv1d)
+        output_shape = (batch, cout, x)
+        input_shapes = {
+            "data": (batch, cin, x + dx - 1),
+            "filters": (cin, cout, dx),
+        }
+        extents = bind_extents(summary, output_shape, input_shapes)
+        return summary, extents, output_shape, input_shapes
+
+    def test_extent_binding(self):
+        summary, extents, _, _ = self._summary_extents()
+        assert extents["b"] == 8 and extents["co"] == 6 and extents["x"] == 16
+        assert extents["ci"] == pytest.approx(4)
+        assert extents["dx"] == pytest.approx(3, abs=1)
+
+    def test_batch_partition_halves_data(self):
+        summary, extents, out_shape, in_shapes = self._summary_extents()
+        strategies = {s.axis: s for s in discover_strategies(conv1d, summary=summary)}
+        needed = worker_input_elements(
+            summary, strategies["b"], "data", in_shapes["data"], extents, 2
+        )
+        total = 8 * 4 * 18
+        assert needed == pytest.approx(total / 2, rel=0.05)
+
+    def test_batch_partition_keeps_filters_whole(self):
+        summary, extents, out_shape, in_shapes = self._summary_extents()
+        strategies = {s.axis: s for s in discover_strategies(conv1d, summary=summary)}
+        needed = worker_input_elements(
+            summary, strategies["b"], "filters", in_shapes["filters"], extents, 2
+        )
+        assert needed == pytest.approx(4 * 6 * 3)
+
+    def test_halo_partition_needs_extra_rows(self):
+        summary, extents, out_shape, in_shapes = self._summary_extents()
+        strategies = {s.axis: s for s in discover_strategies(conv1d, summary=summary)}
+        needed = worker_input_elements(
+            summary, strategies["x"], "data", in_shapes["data"], extents, 2
+        )
+        # Half the pixels plus the halo window on the last dimension.
+        no_halo = 8 * 4 * 9
+        assert needed > no_halo
+        assert needed <= 8 * 4 * (9 + 3)
+
+    def test_output_elements(self):
+        summary, extents, out_shape, _ = self._summary_extents()
+        strategies = {s.axis: s for s in discover_strategies(conv1d, summary=summary)}
+        assert worker_output_elements(summary, strategies["b"], out_shape, 2) == pytest.approx(
+            8 * 6 * 16 / 2
+        )
+        assert worker_output_elements(summary, strategies["ci"], out_shape, 2) == pytest.approx(
+            8 * 6 * 16
+        )
+
+    def test_more_parts_need_less_input(self):
+        summary, extents, out_shape, in_shapes = self._summary_extents(batch=32)
+        strategies = {s.axis: s for s in discover_strategies(conv1d, summary=summary)}
+        needed2 = worker_input_elements(
+            summary, strategies["b"], "data", in_shapes["data"], extents, 2
+        )
+        needed8 = worker_input_elements(
+            summary, strategies["b"], "data", in_shapes["data"], extents, 8
+        )
+        assert needed8 < needed2

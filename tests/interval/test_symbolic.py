@@ -1,0 +1,105 @@
+"""Tests for affine symbolic interval arithmetic (Figure 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NonAffineError
+from repro.interval.symbolic import AffineExpr, Interval
+
+
+class TestAffineExpr:
+    def test_constant(self):
+        expr = AffineExpr.constant(3)
+        assert expr.is_constant()
+        assert expr.evaluate({}) == 3
+
+    def test_symbol_evaluation(self):
+        expr = AffineExpr.symbol("X", 2.0) + 1
+        assert expr.evaluate({"X": 10}) == 21
+
+    def test_addition_merges_coefficients(self):
+        expr = AffineExpr.symbol("X") + AffineExpr.symbol("X") + AffineExpr.symbol("Y")
+        assert expr.coeffs == {"X": 2.0, "Y": 1.0}
+
+    def test_subtraction_cancels(self):
+        expr = AffineExpr.symbol("X") - AffineExpr.symbol("X")
+        assert expr.is_constant()
+
+    def test_scale(self):
+        expr = (AffineExpr.symbol("X") + 2).scale(3)
+        assert expr.evaluate({"X": 1}) == 9
+
+    def test_missing_extent_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.symbol("X").evaluate({})
+
+
+class TestInterval:
+    def test_variable_interval(self):
+        iv = Interval.for_variable("X")
+        assert iv.evaluate({"X": 8}) == (0, 8)
+
+    def test_add_constant(self):
+        iv = Interval.for_variable("X") + 2
+        assert iv.evaluate({"X": 8}) == (2, 10)
+
+    def test_add_interval(self):
+        # x + dx with x in [0, X], dx in [0, D]: the halo pattern of conv.
+        iv = Interval.for_variable("X") + Interval.for_variable("D")
+        assert iv.evaluate({"X": 8, "D": 3}) == (0, 11)
+
+    def test_subtract_interval(self):
+        iv = Interval.for_variable("X") - Interval.for_variable("D")
+        low, high = iv.evaluate({"X": 8, "D": 3})
+        assert (low, high) == (-3, 8)
+
+    def test_scale_negative_swaps_bounds(self):
+        iv = Interval.for_variable("X").scale(-1)
+        low, high = iv.evaluate({"X": 8})
+        assert low == -8 and high == 0
+
+    def test_multiply_by_point_allowed(self):
+        iv = Interval.for_variable("X").multiply(Interval.point(3))
+        assert iv.evaluate({"X": 4}) == (0, 12)
+
+    def test_multiply_symbolic_rejected(self):
+        with pytest.raises(NonAffineError):
+            Interval.for_variable("X").multiply(Interval.for_variable("Y"))
+
+    def test_divide_by_constant(self):
+        iv = Interval.for_variable("X").divide(Interval.point(2))
+        assert iv.evaluate({"X": 8}) == (0, 4)
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(NonAffineError):
+            Interval.for_variable("X").divide(Interval.point(0))
+
+    def test_length(self):
+        iv = Interval.for_variable("X") + 2
+        assert iv.length({"X": 6}) == 6
+
+
+class TestIntervalProperties:
+    @given(
+        x=st.integers(min_value=1, max_value=1000),
+        k=st.integers(min_value=-50, max_value=50),
+    )
+    def test_shift_preserves_length(self, x, k):
+        iv = Interval.for_variable("X") + k
+        assert iv.length({"X": x}) == pytest.approx(x)
+
+    @given(
+        x=st.integers(min_value=1, max_value=1000),
+        k=st.integers(min_value=1, max_value=16),
+    )
+    def test_scaling_scales_length(self, x, k):
+        iv = Interval.for_variable("X").scale(k)
+        assert iv.length({"X": x}) == pytest.approx(x * k)
+
+    @given(
+        x=st.integers(min_value=1, max_value=512),
+        d=st.integers(min_value=1, max_value=64),
+    )
+    def test_sum_of_intervals_adds_lengths(self, x, d):
+        iv = Interval.for_variable("X") + Interval.for_variable("D")
+        assert iv.length({"X": x, "D": d}) == pytest.approx(x + d)

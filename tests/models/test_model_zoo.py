@@ -1,0 +1,97 @@
+"""Tests for the model zoo (MLP, Wide ResNet, stacked LSTM)."""
+
+import pytest
+
+from repro.graph.shape_inference import check_shapes
+from repro.models.mlp import build_mlp
+from repro.models.resnet import build_wide_resnet, wresnet_weight_gib
+from repro.models.rnn import build_rnn, rnn_weight_gib
+
+
+class TestMLP:
+    def test_shapes_consistent(self, mlp_bundle):
+        check_shapes(mlp_bundle.graph)
+
+    def test_metadata_present(self, mlp_bundle):
+        meta = mlp_bundle.graph.metadata
+        assert meta["loss"] == mlp_bundle.loss
+        assert set(meta["weights"]) == set(mlp_bundle.weights)
+        assert mlp_bundle.layer_of_node
+
+    def test_inference_graph_has_no_gradients(self, mlp_inference_bundle):
+        kinds = {spec.kind for spec in mlp_inference_bundle.graph.tensors.values()}
+        assert "gradient" not in kinds
+
+
+class TestWideResNet:
+    def test_shapes_consistent(self, cnn_bundle):
+        check_shapes(cnn_bundle.graph)
+
+    def test_depth_controls_node_count(self):
+        small = build_wide_resnet(depth=50, widen=1, batch_size=2, image_size=32,
+                                  training=False)
+        large = build_wide_resnet(depth=101, widen=1, batch_size=2, image_size=32,
+                                  training=False)
+        assert large.graph.num_nodes() > small.graph.num_nodes()
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            build_wide_resnet(depth=77)
+
+    def test_weight_memory_grows_quadratically_with_widening(self):
+        w2 = wresnet_weight_gib(50, 2)
+        w4 = wresnet_weight_gib(50, 4)
+        assert w4 / w2 == pytest.approx(4.0, rel=0.15)
+
+    def test_paper_scale_weight_sizes(self):
+        """Table 2 ballpark: WResNet-152-10 weight state is tens of GiB."""
+        assert wresnet_weight_gib(152, 10) > 40
+        assert wresnet_weight_gib(50, 4) < 10
+
+    def test_analytic_matches_graph(self):
+        bundle = build_wide_resnet(depth=50, widen=2, batch_size=2, image_size=32,
+                                   training=False)
+        analytic = wresnet_weight_gib(50, 2) / 3  # raw weights only
+        graph_gib = bundle.weight_bytes() / 2**30
+        assert graph_gib == pytest.approx(analytic, rel=0.05)
+
+    def test_classifier_output_shape(self):
+        bundle = build_wide_resnet(depth=50, widen=1, batch_size=2, image_size=32,
+                                   num_classes=10, training=False)
+        assert bundle.graph.tensor("fc_bias").shape == (2, 10)
+
+
+class TestRNN:
+    def test_shapes_consistent(self, rnn_bundle):
+        check_shapes(rnn_bundle.graph)
+
+    def test_unroll_groups_cover_all_timesteps(self, rnn_bundle):
+        seq_len = rnn_bundle.hyperparams["seq_len"]
+        groups = rnn_bundle.graph.metadata["unroll_groups"]
+        assert groups
+        for group in groups:
+            assert len(group) == seq_len
+
+    def test_layer_assignment(self, rnn_bundle):
+        layers = set(rnn_bundle.layer_of_node.values())
+        assert layers == set(range(rnn_bundle.hyperparams["num_layers"]))
+
+    def test_weight_count(self, rnn_bundle):
+        # wx, wh and bias per layer.
+        assert len(rnn_bundle.weights) == 3 * rnn_bundle.hyperparams["num_layers"]
+
+    def test_weight_memory_formula(self):
+        # 2 * H * 4H parameters per layer (+bias), 3x for grad + history.
+        gib = rnn_weight_gib(6, 4096)
+        expected = 3 * 6 * (2 * 4096 * 4 * 4096 + 4 * 4096) * 4 / 2**30
+        assert gib == pytest.approx(expected)
+
+    def test_paper_scale_weight_sizes(self):
+        """Table 2 ballpark: RNN-10-8K weight state is tens of GiB."""
+        assert rnn_weight_gib(10, 8192) > 40
+        assert rnn_weight_gib(6, 4096) < 15
+
+    def test_graph_size_scales_with_layers_and_steps(self):
+        small = build_rnn(num_layers=1, hidden_size=64, seq_len=2, batch_size=4)
+        large = build_rnn(num_layers=2, hidden_size=64, seq_len=4, batch_size=4)
+        assert large.graph.num_nodes() > 2 * small.graph.num_nodes() * 0.8

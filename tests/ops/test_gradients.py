@@ -1,0 +1,122 @@
+"""Tests that gradient builders generate shape-consistent backward operators."""
+
+import pytest
+
+from repro.graph.autodiff import build_backward
+from repro.graph.builder import GraphBuilder
+from repro.graph.shape_inference import check_shapes
+
+
+def _grad_shapes(op, input_specs, attrs=None, loss_reducer="reduce_mean_all"):
+    """Build a tiny graph around one operator, differentiate it and return the
+    mapping from input name to gradient shape."""
+    b = GraphBuilder(f"grad_{op}")
+    inputs = []
+    for i, (shape, kind) in enumerate(input_specs):
+        inputs.append(b.input(f"in{i}", shape, kind=kind))
+    out = b.apply(op, inputs, attrs=attrs or {}, name="target")
+    if isinstance(out, list):
+        out = out[0]
+    # Reduce to a scalar loss so backward has a defined seed.
+    shape = b.tensor_shape(out)
+    if len(shape) == 2:
+        loss = b.apply("reduce_mean_all", [out], name="loss")
+    elif len(shape) == 4:
+        pooled = b.apply("global_avg_pool", [out], name="pool")
+        loss = b.apply("reduce_mean_all", [pooled], name="loss")
+    elif len(shape) == 1:
+        col = b.apply("broadcast_to_like", [out, out], name="widen",
+                      attrs={"like_shape": (shape[0], 1)})
+        loss = b.apply("reduce_mean_all", [col], name="loss")
+    else:
+        raise AssertionError(f"unsupported rank {shape}")
+    wrt = [t for t, (shape, kind) in zip(inputs, input_specs) if kind == "weight"]
+    grad_map = build_backward(b, loss, wrt)
+    check_shapes(b.graph)
+    return {t: b.graph.tensor(grad_map[t]).shape for t in grad_map if t in inputs}, b
+
+
+class TestMatmulGradients:
+    def test_matmul(self):
+        grads, b = _grad_shapes("matmul", [((8, 16), "data"), ((16, 4), "weight")])
+        assert grads["in0"] == (8, 16)
+        assert grads["in1"] == (16, 4)
+
+    def test_matmul_nt(self):
+        grads, _ = _grad_shapes("matmul_nt", [((8, 16), "data"), ((4, 16), "weight")])
+        assert grads["in0"] == (8, 16)
+        assert grads["in1"] == (4, 16)
+
+    def test_matmul_tn(self):
+        grads, _ = _grad_shapes("matmul_tn", [((16, 8), "data"), ((16, 4), "weight")])
+        assert grads["in0"] == (16, 8)
+        assert grads["in1"] == (16, 4)
+
+
+class TestConvGradients:
+    def test_conv2d(self):
+        grads, b = _grad_shapes(
+            "conv2d", [((2, 3, 16, 16), "data"), ((8, 3, 3, 3), "weight")]
+        )
+        assert grads["in0"] == (2, 3, 16, 16)
+        assert grads["in1"] == (8, 3, 3, 3)
+        ops = b.graph.op_histogram()
+        assert ops.get("conv2d_backward_data") == 1
+        assert ops.get("conv2d_backward_weight") == 1
+
+    def test_bias_add4d(self):
+        grads, _ = _grad_shapes("bias_add4d", [((2, 8, 4, 4), "data"), ((8,), "weight")])
+        assert grads["in1"] == (8,)
+
+    def test_batch_norm(self):
+        grads, _ = _grad_shapes(
+            "batch_norm",
+            [((2, 8, 4, 4), "data"), ((8,), "weight"), ((8,), "weight")],
+        )
+        assert grads["in0"] == (2, 8, 4, 4)
+        assert grads["in1"] == (8,)
+        assert grads["in2"] == (8,)
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op", ["relu", "sigmoid", "tanh", "exp", "log", "square"])
+    def test_unary(self, op):
+        grads, _ = _grad_shapes(op, [((8, 8), "weight")])
+        assert grads["in0"] == (8, 8)
+
+    @pytest.mark.parametrize("op", ["add", "subtract", "multiply"])
+    def test_binary(self, op):
+        grads, _ = _grad_shapes(op, [((8, 8), "weight"), ((8, 8), "weight")])
+        assert grads["in0"] == (8, 8)
+        assert grads["in1"] == (8, 8)
+
+
+class TestOtherGradients:
+    def test_pooling(self):
+        grads, _ = _grad_shapes(
+            "max_pool2d", [((2, 8, 8, 8), "weight")], attrs={"kernel": 2, "stride": 2}
+        )
+        assert grads["in0"] == (2, 8, 8, 8)
+
+    def test_global_avg_pool(self):
+        grads, _ = _grad_shapes("global_avg_pool", [((2, 8, 4, 4), "weight")])
+        assert grads["in0"] == (2, 8, 4, 4)
+
+    def test_slice_axis1(self):
+        grads, _ = _grad_shapes(
+            "slice_axis1", [((4, 16), "weight")], attrs={"begin": 4, "end": 8}
+        )
+        assert grads["in0"] == (4, 16)
+
+    def test_concat_axis1(self):
+        grads, _ = _grad_shapes(
+            "concat_axis1", [((4, 8), "weight"), ((4, 8), "weight")]
+        )
+        assert grads["in0"] == (4, 8)
+        assert grads["in1"] == (4, 8)
+
+    def test_layer_norm(self):
+        grads, _ = _grad_shapes(
+            "layer_norm", [((4, 16), "data"), ((16,), "weight"), ((16,), "weight")]
+        )
+        assert grads["in1"] == (16,)

@@ -1,0 +1,56 @@
+"""Tests for the operator registry."""
+
+import pytest
+
+from repro.errors import UnknownOperatorError
+from repro.ops.registry import OPS, get_op, has_op, list_ops, num_elements
+
+
+class TestRegistry:
+    def test_core_operators_registered(self):
+        for name in (
+            "matmul", "matmul_nt", "matmul_tn", "conv2d", "conv2d_backward_data",
+            "conv2d_backward_weight", "relu", "add", "multiply", "sigmoid", "tanh",
+            "batch_norm", "max_pool2d", "global_avg_pool", "softmax_cross_entropy",
+            "reduce_mean_all", "bias_add", "slice_axis1", "adagrad_apply",
+        ):
+            assert has_op(name), name
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(UnknownOperatorError):
+            get_op("definitely_not_registered")
+
+    def test_every_op_has_working_defaults(self):
+        # Every registered operator must expose category, flops fn and shape fn.
+        for name, opdef in OPS.items():
+            assert opdef.infer_shape is not None
+            assert opdef.flops is not None
+            assert isinstance(opdef.category, str)
+
+    def test_elementwise_ops_marked(self):
+        assert get_op("relu").elementwise
+        assert get_op("add").elementwise
+        assert not get_op("matmul").elementwise
+        assert not get_op("conv2d").elementwise
+
+    def test_list_ops_by_category(self):
+        assert "matmul" in list_ops("matmul")
+        assert "conv2d" in list_ops("conv")
+        assert set(list_ops("conv")) <= set(list_ops())
+
+    def test_num_elements(self):
+        assert num_elements((2, 3, 4)) == 24
+        assert num_elements(()) == 1
+
+    def test_registry_size_is_substantial(self):
+        # The library registers the full operator set the model zoo needs.
+        assert len(OPS) >= 50
+
+    def test_gradients_registered_for_trainable_ops(self):
+        for name in ("matmul", "conv2d", "relu", "sigmoid", "tanh", "batch_norm",
+                     "bias_add", "softmax_cross_entropy", "max_pool2d"):
+            assert get_op(name).gradient is not None, name
+
+    def test_tdl_descriptions_attached(self):
+        for name in ("matmul", "conv2d", "batch_norm", "max_pool2d", "relu"):
+            assert get_op(name).tdl is not None, name

@@ -1,0 +1,137 @@
+"""Shape-inference and FLOP-count tests for the operator library."""
+
+import pytest
+
+from repro.errors import ShapeError
+from repro.ops.registry import get_op
+
+
+def shapes_of(op, input_shapes, attrs=None):
+    return get_op(op).output_shapes([tuple(s) for s in input_shapes], attrs or {})
+
+
+def flops_of(op, input_shapes, attrs=None):
+    attrs = attrs or {}
+    opdef = get_op(op)
+    outs = opdef.output_shapes([tuple(s) for s in input_shapes], attrs)
+    return opdef.flop_count([tuple(s) for s in input_shapes], outs, attrs)
+
+
+class TestMatmulFamily:
+    def test_matmul_shape(self):
+        assert shapes_of("matmul", [(8, 16), (16, 4)]) == [(8, 4)]
+
+    def test_matmul_nt_shape(self):
+        assert shapes_of("matmul_nt", [(8, 16), (4, 16)]) == [(8, 4)]
+
+    def test_matmul_tn_shape(self):
+        assert shapes_of("matmul_tn", [(16, 8), (16, 4)]) == [(8, 4)]
+
+    def test_matmul_mismatch(self):
+        with pytest.raises(ShapeError):
+            shapes_of("matmul", [(8, 16), (15, 4)])
+
+    def test_matmul_flops(self):
+        assert flops_of("matmul", [(8, 16), (16, 4)]) == 2 * 8 * 4 * 16
+        assert flops_of("matmul_nt", [(8, 16), (4, 16)]) == 2 * 8 * 4 * 16
+        assert flops_of("matmul_tn", [(16, 8), (16, 4)]) == 2 * 8 * 4 * 16
+
+
+class TestConvFamily:
+    def test_conv2d_shape_same_padding(self):
+        assert shapes_of("conv2d", [(2, 3, 32, 32), (8, 3, 3, 3)]) == [(2, 8, 32, 32)]
+
+    def test_conv2d_stride(self):
+        assert shapes_of("conv2d", [(2, 3, 32, 32), (8, 3, 3, 3)], {"stride": 2}) == [
+            (2, 8, 16, 16)
+        ]
+
+    def test_conv2d_channel_mismatch(self):
+        with pytest.raises(ShapeError):
+            shapes_of("conv2d", [(2, 4, 32, 32), (8, 3, 3, 3)])
+
+    def test_conv2d_backward_shapes_from_attrs(self):
+        assert shapes_of(
+            "conv2d_backward_data",
+            [(2, 8, 32, 32), (8, 3, 3, 3)],
+            {"data_shape": (2, 3, 32, 32)},
+        ) == [(2, 3, 32, 32)]
+        assert shapes_of(
+            "conv2d_backward_weight",
+            [(2, 3, 32, 32), (2, 8, 32, 32)],
+            {"weight_shape": (8, 3, 3, 3)},
+        ) == [(8, 3, 3, 3)]
+
+    def test_conv2d_backward_requires_attrs(self):
+        with pytest.raises(ShapeError):
+            shapes_of("conv2d_backward_data", [(2, 8, 32, 32), (8, 3, 3, 3)])
+
+    def test_conv_flops_scale_with_kernel(self):
+        small = flops_of("conv2d", [(2, 3, 32, 32), (8, 3, 1, 1)])
+        large = flops_of("conv2d", [(2, 3, 32, 32), (8, 3, 3, 3)])
+        assert large == pytest.approx(9 * small)
+
+    def test_bias_add(self):
+        assert shapes_of("bias_add4d", [(2, 8, 4, 4), (8,)]) == [(2, 8, 4, 4)]
+        assert shapes_of("bias_add", [(2, 8), (8,)]) == [(2, 8)]
+        with pytest.raises(ShapeError):
+            shapes_of("bias_add", [(2, 8), (9,)])
+
+
+class TestPoolingNormMisc:
+    def test_max_pool(self):
+        assert shapes_of("max_pool2d", [(2, 8, 32, 32)], {"kernel": 2, "stride": 2}) == [
+            (2, 8, 16, 16)
+        ]
+
+    def test_global_avg_pool(self):
+        assert shapes_of("global_avg_pool", [(2, 8, 7, 7)]) == [(2, 8)]
+
+    def test_batch_norm(self):
+        assert shapes_of("batch_norm", [(2, 8, 4, 4), (8,), (8,)]) == [(2, 8, 4, 4)]
+        with pytest.raises(ShapeError):
+            shapes_of("batch_norm", [(2, 8, 4, 4), (7,), (8,)])
+
+    def test_softmax_cross_entropy(self):
+        assert shapes_of("softmax_cross_entropy", [(16, 10), (16,)]) == [(16,)]
+        with pytest.raises(ShapeError):
+            shapes_of("softmax_cross_entropy", [(16, 10), (15,)])
+
+    def test_reduce_ops(self):
+        assert shapes_of("reduce_to_channel", [(2, 8, 4, 4)]) == [(8,)]
+        assert shapes_of("reduce_to_column", [(16, 10)]) == [(10,)]
+        assert shapes_of("reduce_mean_all", [(16, 10)]) == [(1,)]
+
+    def test_slice_axis1(self):
+        assert shapes_of("slice_axis1", [(4, 16)], {"begin": 4, "end": 8}) == [(4, 4)]
+        with pytest.raises(ShapeError):
+            shapes_of("slice_axis1", [(4, 16)], {"begin": 8, "end": 4})
+
+    def test_flatten_and_unflatten(self):
+        assert shapes_of("flatten_nc", [(2, 8, 1, 1)]) == [(2, 8)]
+        with pytest.raises(ShapeError):
+            shapes_of("flatten_nc", [(2, 8, 2, 2)])
+        assert shapes_of("unflatten_nc", [(2, 8)], {"data_shape": (2, 8, 1, 1)}) == [
+            (2, 8, 1, 1)
+        ]
+
+    def test_concat_axis1(self):
+        assert shapes_of("concat_axis1", [(4, 8), (4, 8)]) == [(4, 16)]
+        with pytest.raises(ShapeError):
+            shapes_of("concat_axis1", [(4, 8), (5, 8)])
+
+    def test_batch_cholesky(self):
+        assert shapes_of("batch_cholesky", [(4, 8, 8)]) == [(4, 8, 8)]
+        with pytest.raises(ShapeError):
+            shapes_of("batch_cholesky", [(4, 8, 7)])
+
+    def test_embedding_lookup(self):
+        assert shapes_of("embedding_lookup", [(1000, 64), (16,)]) == [(16, 64)]
+
+    def test_elementwise_shapes_follow_first_input(self):
+        assert shapes_of("add", [(3, 5), (3, 5)]) == [(3, 5)]
+        assert shapes_of("relu", [(3, 5, 7)]) == [(3, 5, 7)]
+
+    def test_zero_flop_data_movement(self):
+        assert flops_of("slice_axis1", [(4, 16)], {"begin": 0, "end": 8}) == 0.0
+        assert flops_of("flatten_nc", [(2, 8, 1, 1)]) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for partitioned-graph generation (Sec 6)."""
+
+import pytest
+
+from repro.graph.memory_planner import plan_memory
+from repro.partition.apply import (
+    build_sharded_graph,
+    generate_partitioned_graph,
+    per_node_communication,
+)
+from repro.partition.recursive import recursive_partition
+from repro.sim.device import k80_8gpu_machine
+from repro.sim.engine import TaskGraphSimulator
+
+
+@pytest.fixture(scope="module")
+def mlp_plan(request):
+    mlp_bundle = request.getfixturevalue("mlp_bundle")
+    return recursive_partition(mlp_bundle.graph, 8)
+
+
+class TestShardedGraph:
+    def test_shard_shapes_shrink(self, mlp_bundle, mlp_plan):
+        sharded = build_sharded_graph(mlp_bundle.graph, mlp_plan)
+        for weight in mlp_bundle.weights:
+            original = mlp_bundle.graph.tensor(weight).num_elements()
+            shard = sharded.tensor(weight).num_elements()
+            assert shard <= original
+            assert shard >= original / 8
+
+    def test_per_worker_memory_roughly_one_kth(self, mlp_bundle, mlp_plan):
+        """Sec 5: per-worker footprint should be ~1/k of the single-device one."""
+        full = plan_memory(mlp_bundle.graph).peak_bytes
+        shard = plan_memory(build_sharded_graph(mlp_bundle.graph, mlp_plan)).peak_bytes
+        assert shard < full / 4  # close to 1/8 with some rounding slack
+
+    def test_structure_preserved(self, mlp_bundle, mlp_plan):
+        sharded = build_sharded_graph(mlp_bundle.graph, mlp_plan)
+        assert sharded.num_nodes() == mlp_bundle.graph.num_nodes()
+        assert set(sharded.tensors) == set(mlp_bundle.graph.tensors)
+
+
+class TestCommunication:
+    def test_per_node_communication_totals_match_plan(self, mlp_bundle, mlp_plan):
+        fetch, reduce_ = per_node_communication(mlp_bundle.graph, mlp_plan)
+        total = sum(fetch.values()) + sum(reduce_.values())
+        assert total == pytest.approx(mlp_plan.total_comm_bytes, rel=0.2)
+
+    def test_nonnegative(self, mlp_bundle, mlp_plan):
+        fetch, reduce_ = per_node_communication(mlp_bundle.graph, mlp_plan)
+        assert all(v >= 0 for v in fetch.values())
+        assert all(v >= 0 for v in reduce_.values())
+
+
+class TestGeneratedGraph:
+    def test_tasks_cover_every_node_and_device(self, mlp_bundle, mlp_plan):
+        dist = generate_partitioned_graph(mlp_bundle.graph, mlp_plan)
+        for node in mlp_bundle.graph.nodes:
+            for device in range(8):
+                assert f"{node}@{device}" in dist.tasks
+
+    def test_simulation_runs(self, mlp_bundle, mlp_plan):
+        machine = k80_8gpu_machine()
+        dist = generate_partitioned_graph(mlp_bundle.graph, mlp_plan, machine)
+        result = TaskGraphSimulator(machine).run(
+            dist.tasks, peak_memory=dist.per_device_memory
+        )
+        assert result.iteration_time > 0
+        assert not result.oom
+
+    def test_control_dependency_ablation_increases_memory(self, mlp_bundle, mlp_plan):
+        with_deps = generate_partitioned_graph(
+            mlp_bundle.graph, mlp_plan, add_control_dependencies=True
+        )
+        without = generate_partitioned_graph(
+            mlp_bundle.graph, mlp_plan, add_control_dependencies=False
+        )
+        assert without.per_device_peak_bytes >= with_deps.per_device_peak_bytes
+
+    def test_fused_fetch_ablation_increases_memory(self, mlp_bundle, mlp_plan):
+        fused = generate_partitioned_graph(
+            mlp_bundle.graph, mlp_plan, fuse_remote_fetch=True
+        )
+        unfused = generate_partitioned_graph(
+            mlp_bundle.graph, mlp_plan, fuse_remote_fetch=False
+        )
+        assert unfused.per_device_peak_bytes >= fused.per_device_peak_bytes
+
+    def test_spread_reduction_balances_links(self, rnn_bundle):
+        plan = recursive_partition(rnn_bundle.graph, 4)
+        machine = k80_8gpu_machine(4)
+        spread = generate_partitioned_graph(
+            rnn_bundle.graph, plan, machine, spread_reduction=True
+        )
+        funneled = generate_partitioned_graph(
+            rnn_bundle.graph, plan, machine, spread_reduction=False
+        )
+        sim = TaskGraphSimulator(machine)
+        r_spread = sim.run(spread.tasks, peak_memory=spread.per_device_memory)
+        r_funnel = sim.run(funneled.tasks, peak_memory=funneled.per_device_memory)
+        assert r_spread.iteration_time <= r_funnel.iteration_time * 1.001
+
+    def test_summary_text(self, mlp_bundle, mlp_plan):
+        dist = generate_partitioned_graph(mlp_bundle.graph, mlp_plan)
+        assert "devices=8" in dist.summary()

@@ -1,0 +1,131 @@
+"""Tests for graph coarsening (Sec 5.1)."""
+
+import pytest
+
+from repro.ops.registry import get_op
+from repro.partition.coarsen import coarsen
+
+
+class TestCoarseningMLP:
+    def test_groups_forward_and_backward(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        bwd_nodes_of = graph.metadata["bwd_nodes_of"]
+        for fwd, bwds in bwd_nodes_of.items():
+            for bwd in bwds:
+                assert coarse.op_group_of[fwd] == coarse.op_group_of[bwd]
+
+    def test_groups_tensor_with_gradient(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        grad_of = graph.metadata["grad_of"]
+        for tensor, grad in grad_of.items():
+            assert coarse.tensor_group_of[tensor] == coarse.tensor_group_of[grad]
+
+    def test_weight_grouped_with_optimizer_state(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        for weight in mlp_bundle.weights:
+            hist = f"{weight}_hist"
+            if hist in graph.tensors:
+                assert coarse.tensor_group_of[weight] == coarse.tensor_group_of[hist]
+
+    def test_optimizer_nodes_join_consumer_group(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        for weight, nodes in graph.metadata["optimizer_nodes_of"].items():
+            forward_consumer = next(
+                c.name for c in graph.consumers_of(weight)
+                if c.name in graph.metadata["forward_nodes"]
+            )
+            for node in nodes:
+                assert coarse.op_group_of[node] == coarse.op_group_of[forward_consumer]
+
+    def test_substantial_coarsening_ratio(self, mlp_bundle):
+        coarse = coarsen(mlp_bundle.graph)
+        assert coarse.coarsening_ratio() >= 2.0
+
+    def test_every_node_and_tensor_assigned(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        assert set(coarse.op_group_of) == set(graph.nodes)
+        assert set(coarse.tensor_group_of) == set(graph.tensors)
+
+    def test_touch_maps_consistent(self, mlp_bundle):
+        coarse = coarsen(mlp_bundle.graph)
+        for gid, tgs in coarse.touched_by.items():
+            for tg in tgs:
+                assert gid in coarse.touchers_of[tg]
+
+    def test_mlp_is_linear(self, mlp_bundle):
+        assert coarsen(mlp_bundle.graph).is_linear()
+
+
+class TestCoarseningRNN:
+    def test_timesteps_coalesced(self, rnn_bundle):
+        graph = rnn_bundle.graph
+        coarse = coarsen(graph)
+        for group in graph.metadata["unroll_groups"]:
+            gids = {coarse.op_group_of[n] for n in group if n in graph.nodes}
+            assert len(gids) == 1
+
+    def test_timestep_outputs_share_tensor_group(self, rnn_bundle):
+        graph = rnn_bundle.graph
+        coarse = coarsen(graph)
+        for group in graph.metadata["unroll_groups"]:
+            outputs = [graph.nodes[n].outputs[0] for n in group if n in graph.nodes]
+            tgs = {coarse.tensor_group_of[t] for t in outputs}
+            assert len(tgs) == 1
+
+    def test_disable_timestep_coalescing(self, rnn_bundle):
+        graph = rnn_bundle.graph
+        merged = coarsen(graph)
+        unmerged = coarsen(graph, coalesce_timesteps=False)
+        assert unmerged.num_op_groups() > merged.num_op_groups()
+
+    def test_rnn_coarsens_to_few_groups(self, rnn_bundle):
+        coarse = coarsen(rnn_bundle.graph)
+        seq_len = rnn_bundle.hyperparams["seq_len"]
+        # Coalescing must collapse the per-timestep copies.
+        assert coarse.num_op_groups() < rnn_bundle.graph.num_nodes() / seq_len
+
+
+class TestCoarseningCNN:
+    def test_elementwise_chains_coalesce(self, cnn_bundle):
+        graph = cnn_bundle.graph
+        coarse = coarsen(graph)
+        no_coalesce = coarsen(graph, coalesce_elementwise=False)
+        assert coarse.num_op_groups() <= no_coalesce.num_op_groups()
+
+    def test_elementwise_members_share_group_with_producer(self, cnn_bundle):
+        graph = cnn_bundle.graph
+        coarse = coarsen(graph)
+        forward = set(graph.metadata["forward_nodes"])
+        merged_any = False
+        for name in forward:
+            node = graph.nodes[name]
+            if not get_op(node.op).elementwise:
+                continue
+            for tensor in node.inputs:
+                producer = graph.tensor(tensor).producer
+                if producer is None or producer not in forward:
+                    continue
+                if not get_op(graph.nodes[producer].op).elementwise:
+                    continue
+                consumers = [c for c in graph.consumers_of(tensor) if c.name in forward]
+                if len(consumers) == 1:
+                    assert coarse.op_group_of[name] == coarse.op_group_of[producer]
+                    merged_any = True
+        assert merged_any
+
+    def test_residual_blocks_do_not_chain_into_one_group(self, cnn_bundle):
+        """Shared residual tensors must not fuse every block into one group."""
+        coarse = coarsen(cnn_bundle.graph)
+        sizes = sorted((len(g.members) for g in coarse.op_groups), reverse=True)
+        assert sizes[0] < cnn_bundle.graph.num_nodes() / 4
+
+    def test_no_fwd_bwd_grouping_option(self, cnn_bundle):
+        graph = cnn_bundle.graph
+        grouped = coarsen(graph)
+        ungrouped = coarsen(graph, group_forward_backward=False)
+        assert ungrouped.num_op_groups() > grouped.num_op_groups()

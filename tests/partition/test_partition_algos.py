@@ -1,0 +1,60 @@
+"""Tests for the alternative partition algorithms of Figure 10."""
+
+import pytest
+
+from repro.baselines.partition_algos import (
+    ALGORITHMS,
+    allrow_greedy_plan,
+    equalchop_plan,
+    icml18_plan,
+    spartan_plan,
+    tofu_plan,
+)
+
+
+class TestAlgorithms:
+    def test_all_algorithms_produce_plans(self, mlp_bundle):
+        for name, fn in ALGORITHMS.items():
+            plan = fn(mlp_bundle.graph, 4)
+            assert plan.num_workers == 4
+            assert plan.total_comm_bytes >= 0, name
+
+    def test_allrow_partitions_everything_on_dim0(self, mlp_bundle):
+        plan = allrow_greedy_plan(mlp_bundle.graph, 8)
+        assert all(d == 0 for d in plan.steps[0].tensor_dims.values())
+
+    def test_tofu_never_worse_than_allrow(self, mlp_bundle):
+        tofu = tofu_plan(mlp_bundle.graph, 8)
+        allrow = allrow_greedy_plan(mlp_bundle.graph, 8)
+        assert tofu.total_comm_bytes <= allrow.total_comm_bytes * 1.001
+
+    def test_tofu_never_worse_than_spartan(self, mlp_bundle):
+        tofu = tofu_plan(mlp_bundle.graph, 8)
+        spartan = spartan_plan(mlp_bundle.graph, 8)
+        assert tofu.total_comm_bytes <= spartan.total_comm_bytes * 1.001
+
+    def test_tofu_not_worse_than_icml18_on_rnn(self, rnn_bundle):
+        """Missing output-reduction strategies can only hurt (Sec 7.3)."""
+        tofu = tofu_plan(rnn_bundle.graph, 8)
+        icml = icml18_plan(rnn_bundle.graph, 8)
+        assert tofu.total_comm_bytes <= icml.total_comm_bytes * 1.001
+
+    def test_equalchop_single_step(self, mlp_bundle):
+        plan = equalchop_plan(mlp_bundle.graph, 8)
+        assert plan.num_steps == 1
+        assert plan.steps[0].parts == 8
+
+    def test_equalchop_not_better_than_tofu(self, mlp_bundle):
+        tofu = tofu_plan(mlp_bundle.graph, 8)
+        chop = equalchop_plan(mlp_bundle.graph, 8)
+        assert tofu.total_comm_bytes <= chop.total_comm_bytes * 1.001
+
+    def test_algorithm_labels(self, mlp_bundle):
+        assert allrow_greedy_plan(mlp_bundle.graph, 2).algorithm == "allrow-greedy"
+        assert spartan_plan(mlp_bundle.graph, 2).algorithm == "spartan"
+        assert equalchop_plan(mlp_bundle.graph, 2).algorithm == "equalchop"
+        assert icml18_plan(mlp_bundle.graph, 2).algorithm == "icml18"
+
+    def test_search_times_recorded(self, mlp_bundle):
+        for fn in (allrow_greedy_plan, spartan_plan, equalchop_plan):
+            assert fn(mlp_bundle.graph, 2).search_time_seconds >= 0

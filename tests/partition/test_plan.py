@@ -1,0 +1,100 @@
+"""Tests for the partition-plan data model."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.plan import (
+    PartitionPlan,
+    StepAssignment,
+    factorize_workers,
+    single_dimension_plan,
+)
+
+
+def _two_step_plan():
+    step0 = StepAssignment(
+        parts=2,
+        tensor_dims={"a": 0, "w": 1},
+        op_strategies={"mm": "m"},
+        comm_bytes=100.0,
+        weighted_bytes=100.0,
+        group_count=1,
+    )
+    step1 = StepAssignment(
+        parts=2,
+        tensor_dims={"a": 1, "w": 1},
+        op_strategies={"mm": "n"},
+        comm_bytes=60.0,
+        weighted_bytes=120.0,
+        group_count=2,
+    )
+    return PartitionPlan(num_workers=4, steps=[step0, step1])
+
+
+class TestFactorize:
+    def test_powers_of_two(self):
+        assert factorize_workers(8) == [2, 2, 2]
+        assert factorize_workers(2) == [2]
+        assert factorize_workers(16) == [2, 2, 2, 2]
+
+    def test_non_power_of_two(self):
+        assert factorize_workers(6) == [3, 2]
+        assert factorize_workers(12) == [3, 2, 2]
+        assert factorize_workers(7) == [7]
+
+    def test_single_worker(self):
+        assert factorize_workers(1) == []
+
+    def test_invalid(self):
+        with pytest.raises(PartitionError):
+            factorize_workers(0)
+
+    def test_descending_order(self):
+        for k in (6, 12, 24, 36, 40):
+            factors = factorize_workers(k)
+            assert factors == sorted(factors, reverse=True)
+            product = 1
+            for f in factors:
+                product *= f
+            assert product == k
+
+
+class TestPartitionPlan:
+    def test_total_cost_is_weighted_sum(self):
+        plan = _two_step_plan()
+        assert plan.total_comm_bytes == 220.0
+        assert plan.step_costs() == [100.0, 120.0]
+
+    def test_tensor_grid(self):
+        plan = _two_step_plan()
+        assert plan.tensor_grid("a") == [(0, 2), (1, 2)]
+        assert plan.tensor_grid("w") == [(1, 2), (1, 2)]
+        assert plan.tensor_grid("unknown") == []
+
+    def test_shard_shape(self):
+        plan = _two_step_plan()
+        assert plan.shard_shape("a", (8, 8)) == (4, 4)
+        assert plan.shard_shape("w", (8, 8)) == (8, 2)
+        assert plan.shard_shape("unknown", (8, 8)) == (8, 8)
+
+    def test_partition_counts_and_description(self):
+        plan = _two_step_plan()
+        assert plan.partition_counts("a", 2) == (2, 2)
+        assert plan.partition_counts("w", 2) == (1, 4)
+        assert plan.describe_tensor("w", 2) == "1x4"
+
+    def test_dim_of_missing_tensor_raises(self):
+        step = _two_step_plan().steps[0]
+        with pytest.raises(PartitionError):
+            step.dim_of("missing")
+
+    def test_summary_mentions_steps(self):
+        text = _two_step_plan().summary()
+        assert "step 0" in text and "step 1" in text
+
+    def test_single_dimension_plan(self):
+        plan = single_dimension_plan({"a": 0}, {"mm": "m"}, 8, 42.0, "allrow")
+        assert plan.num_steps == 1
+        assert plan.steps[0].parts == 8
+        assert plan.total_comm_bytes == 42.0
+        assert plan.shard_shape("a", (16, 4)) == (2, 4)

@@ -1,0 +1,102 @@
+"""Tests for the TDL expression AST utilities."""
+
+import pytest
+
+from repro.errors import TDLError
+from repro.tdl.expr import (
+    BinaryOp,
+    Const,
+    FullSlice,
+    IndexVar,
+    TensorArg,
+    find_reductions,
+    find_tensor_accesses,
+    walk,
+    wrap,
+)
+from repro.tdl.reducers import REDUCER_IDENTITY, Max, Sum
+
+
+class TestExprConstruction:
+    def test_wrap_numbers(self):
+        assert isinstance(wrap(3), Const)
+        assert isinstance(wrap(2.5), Const)
+        expr = wrap(IndexVar("i"))
+        assert isinstance(expr, IndexVar)
+
+    def test_wrap_rejects_strings(self):
+        with pytest.raises(TDLError):
+            wrap("nope")
+
+    def test_tensor_indexing(self):
+        a = TensorArg("a", 0)
+        access = a[IndexVar("i"), IndexVar("j")]
+        assert len(access.indices) == 2
+        assert access.tensor is a
+
+    def test_single_index(self):
+        a = TensorArg("a", 0)
+        access = a[IndexVar("i")]
+        assert len(access.indices) == 1
+
+    def test_full_slice(self):
+        a = TensorArg("a", 0)
+        access = a[IndexVar("i"), :]
+        assert isinstance(access.indices[1], FullSlice)
+
+    def test_partial_slice_rejected(self):
+        a = TensorArg("a", 0)
+        with pytest.raises(TDLError):
+            a[0:5]
+
+    def test_arithmetic_builds_binary_ops(self):
+        i = IndexVar("i")
+        expr = (i + 1) * 2 - i / 4
+        assert isinstance(expr, BinaryOp)
+        ops = [e.op for e in walk(expr) if isinstance(e, BinaryOp)]
+        assert set(ops) <= {"+", "-", "*", "/"}
+
+    def test_negation(self):
+        expr = -IndexVar("i")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_invalid_binary_op_rejected(self):
+        with pytest.raises(TDLError):
+            BinaryOp("%", Const(1), Const(2))
+
+
+class TestTraversal:
+    def _expr(self):
+        a = TensorArg("a", 0)
+        b = TensorArg("b", 1)
+        i = IndexVar("i")
+        return Sum(lambda r: a[i, r] * b[r, i]) + a[i, i]
+
+    def test_walk_visits_all(self):
+        nodes = list(walk(self._expr()))
+        assert any(isinstance(n, BinaryOp) for n in nodes)
+        assert any(isinstance(n, IndexVar) for n in nodes)
+
+    def test_find_tensor_accesses(self):
+        accesses = find_tensor_accesses(self._expr())
+        assert len(accesses) == 3
+        assert {a.tensor.name for a in accesses} == {"a", "b"}
+
+    def test_find_reductions(self):
+        reductions = find_reductions(self._expr())
+        assert len(reductions) == 1
+        assert reductions[0].reducer == "sum"
+
+    def test_nested_reducers(self):
+        a = TensorArg("a", 0)
+        i = IndexVar("i")
+        expr = Sum(lambda r: Max(lambda s: a[i, r, s]))
+        assert {r.reducer for r in find_reductions(expr)} == {"sum", "max"}
+
+
+class TestReducerIdentities:
+    def test_identities(self):
+        assert REDUCER_IDENTITY["sum"] == 0.0
+        assert REDUCER_IDENTITY["prod"] == 1.0
+        assert REDUCER_IDENTITY["max"] == float("-inf")
+        assert REDUCER_IDENTITY["min"] == float("inf")

@@ -1,0 +1,126 @@
+"""Tests for the TDL language: decorator, AST capture, classification."""
+
+import pytest
+
+from repro import tdl
+from repro.errors import TDLError
+from repro.tdl import Max, Min, Opaque, Prod, Sum
+from repro.tdl.expr import BinaryOp, Const, Reduce, TensorAccess
+from repro.tdl.lang import elementwise
+
+
+@tdl.op
+def conv1d(data, filters):
+    # Figure 3's running example.
+    return lambda b, co, x: Sum(lambda ci, dx: data[b, ci, x + dx] * filters[ci, co, dx])
+
+
+@tdl.op
+def batch_cholesky(batch_mat):
+    cholesky = Opaque("cholesky")
+    return lambda b, i, j: cholesky(batch_mat[b, :, :])[i, j]
+
+
+class TestDecorator:
+    def test_conv1d_structure(self):
+        assert conv1d.name == "conv1d"
+        assert [v.name for v in conv1d.output_vars] == ["b", "co", "x"]
+        assert [v.name for v in conv1d.reduction_vars] == ["ci", "dx"]
+        assert conv1d.input_names == ["data", "filters"]
+        assert not conv1d.has_opaque
+
+    def test_conv1d_is_not_elementwise(self):
+        assert not conv1d.is_elementwise()
+
+    def test_opaque_description(self):
+        assert batch_cholesky.has_opaque
+        assert [v.name for v in batch_cholesky.output_vars] == ["b", "i", "j"]
+
+    def test_elementwise_helper(self):
+        desc = elementwise("myrelu", 1)
+        assert desc.is_elementwise()
+        binary = elementwise("myadd", 2)
+        assert binary.is_elementwise()
+        assert binary.input_names == ["in0", "in1"]
+
+    def test_elementwise_requires_input(self):
+        with pytest.raises(TDLError):
+            elementwise("bad", 0)
+
+    def test_name_override(self):
+        @tdl.op(name="renamed")
+        def whatever(x):
+            return lambda i: x[i]
+
+        assert whatever.name == "renamed"
+
+    def test_non_lambda_return_rejected(self):
+        with pytest.raises(TDLError):
+            @tdl.op
+            def broken(x):
+                return 42
+
+    def test_description_body_is_expression(self):
+        assert isinstance(conv1d.body, Reduce)
+        accesses = conv1d.tensor_accesses()
+        assert {a.tensor.name for a in accesses} == {"data", "filters"}
+
+
+class TestExpressions:
+    def test_arithmetic_sugar(self):
+        @tdl.op
+        def affine(x):
+            return lambda i: x[i] * 2 + 1 - x[i] / 4
+
+        assert isinstance(affine.body, BinaryOp)
+
+    def test_reverse_operators(self):
+        @tdl.op
+        def scaled(x):
+            return lambda i: 3 * x[i]
+
+        assert isinstance(scaled.body, BinaryOp)
+        assert isinstance(scaled.body.lhs, Const)
+
+    def test_partial_slice_rejected(self):
+        with pytest.raises(TDLError):
+            @tdl.op
+            def bad(x):
+                return lambda i: x[i:5]
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(TDLError):
+            @tdl.op
+            def bad(x):
+                return lambda i: x["not-an-index"]
+
+    def test_opaque_requires_tensor_slices(self):
+        fn = Opaque("f")
+        with pytest.raises(TDLError):
+            fn(42)
+
+
+class TestReducers:
+    @pytest.mark.parametrize("reducer,name", [(Sum, "sum"), (Max, "max"), (Min, "min"), (Prod, "prod")])
+    def test_reducer_kinds(self, reducer, name):
+        @tdl.op
+        def reduced(x):
+            return lambda i: reducer(lambda r: x[i, r])
+
+        assert reduced.reductions()[0].reducer == name
+        assert [v.name for v in reduced.reduction_vars] == ["r"]
+
+    def test_reducer_requires_lambda(self):
+        with pytest.raises(TDLError):
+            Sum(42)
+
+    def test_reducer_requires_variables(self):
+        with pytest.raises(TDLError):
+            Sum(lambda: 1)
+
+    def test_nested_reduction_variables_collected(self):
+        @tdl.op
+        def nested(x):
+            return lambda i: Sum(lambda a: Max(lambda b: x[i, a, b]))
+
+        assert {v.name for v in nested.reduction_vars} == {"a", "b"}

@@ -1,0 +1,62 @@
+"""Tests for the high-level API and the command-line interface."""
+
+import pytest
+
+from repro import describe_operator, partition_and_simulate, partition_graph
+from repro.cli import main as cli_main
+from repro.errors import TDLError
+
+
+class TestAPI:
+    def test_describe_operator(self):
+        strategies = describe_operator("conv2d")
+        assert len(strategies) >= 4
+        axes = {s.axis for s in strategies}
+        assert "n" in axes and "co" in axes
+
+    def test_describe_elementwise_operator(self):
+        assert describe_operator("relu")
+
+    def test_describe_unknown_operator(self):
+        with pytest.raises(Exception):
+            describe_operator("no_such_operator")
+
+    def test_partition_graph(self, mlp_bundle):
+        plan = partition_graph(mlp_bundle.graph, 4)
+        assert plan.num_workers == 4
+        assert plan.total_comm_bytes >= 0
+
+    def test_partition_and_simulate(self, mlp_bundle):
+        report = partition_and_simulate(mlp_bundle.graph, 4)
+        assert report.result.iteration_time > 0
+        assert report.throughput(mlp_bundle.batch_size) > 0
+        assert "PartitionPlan" in report.summary()
+
+    def test_partition_and_simulate_with_precomputed_plan(self, mlp_bundle):
+        plan = partition_graph(mlp_bundle.graph, 4)
+        report = partition_and_simulate(mlp_bundle.graph, 4, plan=plan)
+        assert report.plan is plan
+
+
+class TestCLI:
+    def test_describe_command(self, capsys):
+        assert cli_main(["describe", "conv2d"]) == 0
+        out = capsys.readouterr().out
+        assert "partition-n-reduce" in out
+
+    def test_partition_command(self, capsys):
+        assert cli_main(["partition", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "PartitionPlan" in out
+
+    def test_simulate_command(self, capsys):
+        assert cli_main(["simulate", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_coverage_command(self, capsys):
+        assert cli_main(["coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "MXNet" in out

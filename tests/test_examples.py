@@ -1,0 +1,45 @@
+"""The shipped examples must keep working (they are part of the public API)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "very_large_rnn.py", "wresnet_partition_plan.py",
+            "custom_operator.py"} <= names
+
+
+def test_quickstart_runs(capsys):
+    module = _load("quickstart")
+    module.main()
+    out = capsys.readouterr().out
+    assert "partition plan" in out
+    assert "samples/s" in out
+
+
+def test_custom_operator_runs(capsys):
+    module = _load("custom_operator")
+    module.main()
+    out = capsys.readouterr().out
+    assert "depthwise_conv1d" in out
+    assert "filters tiled" in out
+
+
+def test_other_examples_expose_main():
+    for name in ("very_large_rnn", "wresnet_partition_plan"):
+        module = _load(name)
+        assert callable(module.main)
