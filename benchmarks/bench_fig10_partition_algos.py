@@ -9,10 +9,10 @@ reduction.
 """
 
 from common import FULL, once, print_header
-from repro.baselines.partition_algos import ALGORITHMS
 from repro.models.resnet import build_wide_resnet
 from repro.models.rnn import build_rnn
 from repro.partition.apply import generate_partitioned_graph
+from repro.planner import Planner, PlannerConfig
 from repro.sim.device import k80_8gpu_machine
 from repro.sim.engine import TaskGraphSimulator
 
@@ -28,9 +28,10 @@ def _run_algorithms(bundle):
     machine = k80_8gpu_machine()
     simulator = TaskGraphSimulator(machine)
     capacity = machine.device(0).memory_bytes
+    planner = Planner(PlannerConfig(cache_capacity=0))
     results = {}
     for name in ORDER:
-        plan = ALGORITHMS[name](bundle.graph, 8)
+        plan = planner.plan(bundle.graph, 8, machine=machine, backend=name)
         dist = generate_partitioned_graph(bundle.graph, plan, machine)
         sim = simulator.run(dist.tasks, peak_memory=dist.per_device_memory)
         oom = dist.per_device_peak_bytes > capacity

@@ -13,7 +13,7 @@ from collections import Counter
 
 from common import FULL, once, print_header
 from repro.models.resnet import build_wide_resnet
-from repro.partition.recursive import recursive_partition
+from repro.planner import Planner, PlannerConfig
 
 
 def bench_fig11_partition_plan(benchmark):
@@ -21,7 +21,8 @@ def bench_fig11_partition_plan(benchmark):
     bundle = build_wide_resnet(depth=152, widen=widen, batch_size=8)
     graph = bundle.graph
 
-    plan = once(benchmark, lambda: recursive_partition(graph, 8))
+    planner = Planner(PlannerConfig(cache_capacity=0))
+    plan = once(benchmark, lambda: planner.plan(graph, 8))
 
     conv_nodes = [
         node for node in graph.metadata["forward_nodes"]

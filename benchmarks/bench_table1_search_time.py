@@ -1,11 +1,13 @@
-"""Table 1 — partition-search time for 8 workers.
+"""Table 1 — partition-search time for 8 workers, through the planner.
 
 The paper reports: the original DP is inapplicable (n/a), DP with coarsening
 but without recursion takes 8 hours (WResNet-152) / >24 hours (RNN-10), and
 the recursive search takes 8.3 s / 66.6 s.  This benchmark measures the
-recursive search directly and characterises the non-recursive search space
-(it is run to completion only on a small MLP, with its blow-up reported as a
-configuration count for the large models).
+recursive search directly, characterises the non-recursive search space (run
+to completion only on a small MLP, with its blow-up reported as a
+configuration count for the large models), and sweeps every registered search
+backend through the :class:`repro.planner.Planner` to report per-backend
+search time on a common model.
 """
 
 import pytest
@@ -16,10 +18,15 @@ from repro.models.resnet import build_wide_resnet
 from repro.models.rnn import build_rnn
 from repro.partition.coarsen import coarsen
 from repro.partition.cost import CommunicationCostModel
-from repro.partition.dp import count_joint_configurations, joint_partition
-from repro.partition.recursive import recursive_partition
+from repro.partition.dp import count_joint_configurations
+from repro.planner import Planner, PlannerConfig, available_backends
 
 WORKERS = 8
+
+
+def _fresh_planner() -> Planner:
+    """A planner with caching disabled, so search time is actually measured."""
+    return Planner(PlannerConfig(cache_capacity=0))
 
 
 def _report(name, plan, coarse, stats):
@@ -34,8 +41,14 @@ def _report(name, plan, coarse, stats):
 def bench_table1_wresnet152(benchmark):
     bundle = build_wide_resnet(depth=152, widen=4, batch_size=8)
     coarse = coarsen(bundle.graph)
+    planner = _fresh_planner()
 
-    plan = once(benchmark, lambda: recursive_partition(bundle.graph, WORKERS, coarse=coarse))
+    plan = once(
+        benchmark,
+        lambda: planner.plan(
+            bundle.graph, WORKERS, backend_options={"coarse": coarse}
+        ),
+    )
     stats = count_joint_configurations(
         coarse, CommunicationCostModel(bundle.graph), WORKERS
     )
@@ -49,8 +62,14 @@ def bench_table1_rnn10(benchmark):
     batch = 64 if not FULL else 512
     bundle = build_rnn(num_layers=10, hidden_size=hidden, batch_size=batch)
     coarse = coarsen(bundle.graph)
+    planner = _fresh_planner()
 
-    plan = once(benchmark, lambda: recursive_partition(bundle.graph, WORKERS, coarse=coarse))
+    plan = once(
+        benchmark,
+        lambda: planner.plan(
+            bundle.graph, WORKERS, backend_options={"coarse": coarse}
+        ),
+    )
     stats = count_joint_configurations(
         coarse, CommunicationCostModel(bundle.graph), WORKERS
     )
@@ -85,16 +104,33 @@ def bench_table1_coarsening_ablation(benchmark):
     assert uncoarse.num_op_groups() > coarse.num_op_groups()
 
 
-def bench_table1_joint_vs_recursive_small(benchmark):
-    """On a small MLP the non-recursive (joint) DP can actually be run; it is
-    already an order of magnitude slower while finding a plan of equal cost."""
-    bundle = build_mlp(batch_size=64, hidden_dim=512, num_layers=4)
+def bench_table1_backend_sweep(benchmark):
+    """Per-backend search time through the planner on a common small MLP.
 
-    recursive = recursive_partition(bundle.graph, WORKERS)
-    joint = once(benchmark, lambda: joint_partition(bundle.graph, WORKERS))
-    print_header("Table 1 (small-model check) — recursive vs joint DP")
-    print(
-        f"recursive: {recursive.search_time_seconds:.2f}s cost {recursive.total_comm_bytes/2**20:.1f} MiB | "
-        f"joint: {joint.search_time_seconds:.2f}s cost {joint.total_comm_bytes/2**20:.1f} MiB"
-    )
+    Every registered backend — the recursive search, the joint DP, and the
+    Figure 10 alternatives — goes through the same ``Planner.plan`` entry
+    point; the joint DP is already an order of magnitude slower than the
+    recursive search while finding a plan of equal cost.
+    """
+    bundle = build_mlp(batch_size=64, hidden_dim=512, num_layers=4)
+    planner = _fresh_planner()
+
+    def run():
+        return {
+            name: planner.plan(bundle.graph, WORKERS, backend=name)
+            for name in available_backends()
+        }
+
+    plans = once(benchmark, run)
+    print_header("Table 1 (backend sweep) — search time per planner backend")
+    print(f"{'backend':<16}{'search time':>14}{'plan cost (MiB)':>18}{'steps':>8}")
+    for name, plan in sorted(plans.items()):
+        print(
+            f"{name:<16}{plan.search_time_seconds:>13.3f}s"
+            f"{plan.total_comm_bytes / 2**20:>18.1f}{plan.num_steps:>8}"
+        )
+    recursive = plans["tofu"]
+    joint = plans["joint"]
     assert joint.total_comm_bytes <= recursive.total_comm_bytes * 1.1
+    # The whole point of Table 1: recursion keeps the search tractable.
+    assert recursive.search_time_seconds <= joint.search_time_seconds

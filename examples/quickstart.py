@@ -1,11 +1,15 @@
-"""Quickstart: describe an operator, partition a small model, simulate it.
+"""Quickstart: describe an operator, plan a small model, simulate it.
+
+All planning goes through the :class:`repro.Planner` facade, which owns the
+search backends (``tofu``, ``joint``, the Figure 10 baselines), a
+content-addressed plan cache, and the parallel candidate search.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import describe_operator, partition_and_simulate, partition_graph
+from repro import Planner, PlannerConfig, describe_operator
 from repro.models import build_mlp
 
 
@@ -22,17 +26,26 @@ def main() -> None:
     print(f"\n== model: {bundle.name} ==")
     print(f"operators: {graph.num_nodes()}, tensors: {graph.num_tensors()}")
 
-    # 3. Search a partition plan for 8 GPUs (coarsening + recursive DP).
-    plan = partition_graph(graph, num_workers=8)
+    # 3. Search a partition plan for 8 GPUs (coarsening + recursive DP).  The
+    #    planner memoises plans by content: repeating the call is a cache hit.
+    planner = Planner(PlannerConfig(backend="tofu"))
+    plan = planner.plan(graph, num_workers=8)
+    planner.plan(graph, num_workers=8)  # cache hit — no second search
     print("\n== partition plan ==")
     print(plan.summary())
+    print(f"plan cache: {planner.cache_info()}")
     for weight in bundle.weights[:4]:
         ndim = len(graph.tensor(weight).shape)
         print(f"  {weight}: tiled {plan.describe_tensor(weight, ndim)}")
 
-    # 4. Generate the per-device execution and simulate one training
+    # 4. Compare against an alternative search backend (Figure 10 family).
+    spartan = planner.plan(graph, num_workers=8, backend="spartan")
+    print(f"\nspartan baseline cost: {spartan.total_comm_bytes / 2**30:.3f} GiB "
+          f"vs tofu {plan.total_comm_bytes / 2**30:.3f} GiB")
+
+    # 5. Generate the per-device execution and simulate one training
     #    iteration on the modelled 8-GPU machine.
-    report = partition_and_simulate(graph, num_workers=8, plan=plan)
+    report = planner.plan_and_simulate(graph, num_workers=8, plan=plan)
     print("\n== simulated execution ==")
     print(report.summary())
     print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")

@@ -13,6 +13,13 @@ from repro.api import (
     partition_and_simulate,
     partition_graph,
 )
+from repro.planner import (
+    Planner,
+    PlannerConfig,
+    available_backends,
+    default_planner,
+    register_backend,
+)
 from repro.errors import (
     GraphError,
     NoStrategyError,
@@ -33,13 +40,18 @@ __all__ = [
     "NonAffineError",
     "OutOfMemoryError",
     "PartitionError",
+    "Planner",
+    "PlannerConfig",
     "ReproError",
     "ShapeError",
     "SimulationError",
     "SimulationReport",
     "TDLError",
     "__version__",
+    "available_backends",
+    "default_planner",
     "describe_operator",
     "partition_and_simulate",
     "partition_graph",
+    "register_backend",
 ]

@@ -1,30 +1,40 @@
-"""High-level public API.
+"""High-level public API — thin shims over the :class:`repro.planner.Planner`.
 
-The functions here cover the typical workflows end to end:
+The planner subsystem owns the end-to-end flow (search backends, plan cache,
+parallel candidate search); these functions keep the original convenience
+signatures and route through a process-wide default planner, so repeated
+planning of the same model is a cache hit even for legacy callers:
 
 * :func:`describe_operator` — inspect the partition-n-reduce strategies Tofu
   discovers for a single operator from its TDL description.
-* :func:`partition_graph` — run the full coarsening + recursive DP search on a
-  training graph and obtain a :class:`PartitionPlan`.
+* :func:`partition_graph` — search a :class:`PartitionPlan` with any
+  registered backend (``backend="tofu"`` by default).
 * :func:`partition_and_simulate` — additionally generate the per-device
   execution and simulate one training iteration on the modelled machine.
+
+For anything beyond one-shot calls — choosing backends, controlling the
+cache, parallel search — construct a :class:`repro.planner.Planner` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.errors import TDLError
 from repro.graph.graph import Graph
 from repro.interval.strategies import PartitionStrategy, discover_strategies
 from repro.ops.registry import get_op
-from repro.partition.apply import PartitionedGraph, generate_partitioned_graph
 from repro.partition.plan import PartitionPlan
-from repro.partition.recursive import recursive_partition
-from repro.sim.device import MachineSpec, k80_8gpu_machine
-from repro.sim.engine import SimResult, TaskGraphSimulator
+from repro.planner import Planner, SimulationReport, default_planner
+from repro.sim.device import MachineSpec
 from repro.tdl.registry import get_description
+
+__all__ = [
+    "SimulationReport",
+    "describe_operator",
+    "partition_and_simulate",
+    "partition_graph",
+]
 
 
 def describe_operator(op_name: str) -> List[PartitionStrategy]:
@@ -47,32 +57,28 @@ def partition_graph(
     num_workers: int,
     *,
     allow_reduction: bool = True,
+    backend: str = "tofu",
+    planner: Optional[Planner] = None,
 ) -> PartitionPlan:
-    """Find a minimum-communication partition plan for ``num_workers`` GPUs."""
-    return recursive_partition(graph, num_workers, allow_reduction=allow_reduction)
+    """Find a minimum-communication partition plan for ``num_workers`` GPUs.
 
+    ``allow_reduction=False`` reproduces the ICML18 strategy space; it is
+    redundant (and therefore ignored) with ``backend="icml18"``, and backends
+    without the option reject it with a :class:`PartitionError`.
 
-@dataclass
-class SimulationReport:
-    """Plan, generated execution, and simulated timing for one graph."""
-
-    plan: PartitionPlan
-    partitioned: PartitionedGraph
-    result: SimResult
-
-    def throughput(self, batch_size: int) -> float:
-        return self.result.throughput(batch_size)
-
-    def summary(self) -> str:
-        return "\n".join(
-            [
-                self.plan.summary(),
-                self.partitioned.summary(),
-                f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
-                f"comm fraction: {self.result.comm_fraction():.1%}, "
-                f"oom: {self.result.oom}",
-            ]
-        )
+    For worker counts whose prime factorisation admits several orders (e.g.
+    12 = 3*2*2), the planner searches every distinct order (capped at 24) and
+    keeps the cheapest plan — never worse than, but possibly different from,
+    the paper's fixed descending order, at the cost of one search per
+    candidate.  Power-of-two counts have a single order and are unaffected.
+    Pass ``planner=Planner(PlannerConfig(explore_factor_orders=False))`` for
+    the paper's single-order search.
+    """
+    planner = planner or default_planner()
+    options = {}
+    if not allow_reduction and backend != "icml18":
+        options["allow_reduction"] = False
+    return planner.plan(graph, num_workers, backend=backend, backend_options=options)
 
 
 def partition_and_simulate(
@@ -81,23 +87,21 @@ def partition_and_simulate(
     machine: Optional[MachineSpec] = None,
     *,
     plan: Optional[PartitionPlan] = None,
+    backend: str = "tofu",
+    planner: Optional[Planner] = None,
     fuse_remote_fetch: bool = True,
     add_control_dependencies: bool = True,
     spread_reduction: bool = True,
 ) -> SimulationReport:
     """Partition ``graph``, generate the per-device execution and simulate it."""
-    machine = machine or k80_8gpu_machine(num_workers)
-    if plan is None:
-        plan = recursive_partition(graph, num_workers)
-    partitioned = generate_partitioned_graph(
+    planner = planner or default_planner()
+    return planner.plan_and_simulate(
         graph,
-        plan,
+        num_workers,
         machine,
+        plan=plan,
+        backend=backend,
         fuse_remote_fetch=fuse_remote_fetch,
         add_control_dependencies=add_control_dependencies,
         spread_reduction=spread_reduction,
     )
-    result = TaskGraphSimulator(machine).run(
-        partitioned.tasks, peak_memory=partitioned.per_device_memory
-    )
-    return SimulationReport(plan=plan, partitioned=partitioned, result=result)

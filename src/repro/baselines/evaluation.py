@@ -15,7 +15,6 @@ from repro.graph.memory_planner import plan_memory
 from repro.models.layers import ModelBundle
 from repro.partition.apply import generate_partitioned_graph
 from repro.partition.plan import PartitionPlan
-from repro.partition.recursive import recursive_partition
 from repro.sim.device import MachineSpec, k80_8gpu_machine
 from repro.sim.engine import TaskGraphSimulator
 from repro.sim.swap import simulate_with_swapping
@@ -283,6 +282,8 @@ def evaluate_tofu(
     machine: Optional[MachineSpec] = None,
     *,
     plan_fn: Optional[Callable[[ModelBundle, int], PartitionPlan]] = None,
+    planner: Optional["Planner"] = None,
+    backend: str = "tofu",
     system_name: str = "tofu",
     fuse_remote_fetch: bool = True,
     add_control_dependencies: bool = True,
@@ -290,14 +291,23 @@ def evaluate_tofu(
 ) -> SystemResult:
     """Partition the graph across all GPUs with Tofu and simulate it.
 
-    ``plan_fn`` can substitute one of the alternative partition algorithms
-    (Figure 10); the default is the recursive search.
+    Planning goes through the planner subsystem: ``backend`` selects any
+    registered search algorithm (the Figure 10 alternatives included) and
+    ``planner`` can supply a shared plan cache.  ``plan_fn`` remains as an
+    escape hatch for fully custom planning.
     """
+    # Imported here: repro.baselines is a dependency of the planner's backend
+    # registry, so a module-level import would be circular.
+    from repro.planner import Planner
+
     machine = machine or k80_8gpu_machine()
     num = machine.num_devices
     capacity = machine.device(0).memory_bytes
     if plan_fn is None:
-        plan_fn = lambda bundle, workers: recursive_partition(bundle.graph, workers)
+        planner = planner or Planner()
+        plan_fn = lambda bundle, workers: planner.plan(
+            bundle.graph, workers, machine=machine, backend=backend
+        )
 
     # Probe at a small batch to estimate how the per-device footprint scales
     # with batch size, then evaluate only plausible batch sizes.

@@ -1,10 +1,17 @@
-"""Command-line interface.
+"""Command-line interface, built on the :class:`repro.planner.Planner` facade.
+
+``partition`` and ``simulate`` accept a ``--backend`` (any registered search
+backend — see ``tofu-repro backends``), a ``--cache-dir`` for the persistent
+plan store, and ``--jobs`` for the parallel candidate search.
 
 Examples::
 
     tofu-repro describe conv2d
+    tofu-repro backends
     tofu-repro partition --model wresnet --depth 50 --widen 4 --batch 32 --workers 8
-    tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 --workers 8
+    tofu-repro partition --model mlp --backend spartan --workers 8
+    tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 \\
+        --workers 8 --cache-dir ~/.cache/tofu-plans --jobs 4
     tofu-repro coverage
 """
 
@@ -12,13 +19,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
 
-from repro.api import describe_operator, partition_and_simulate, partition_graph
+from repro.api import describe_operator
+from repro.errors import ReproError
 from repro.models.mlp import build_mlp
 from repro.models.resnet import build_wide_resnet
 from repro.models.rnn import build_rnn
 from repro.ops.catalog import mxnet_catalog_counts
+from repro.planner import Planner, PlannerConfig, available_backends, get_backend
+from repro.sim.device import k80_8gpu_machine
 from repro.tdl.registry import GLOBAL_REGISTRY
 
 
@@ -48,6 +57,34 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=8)
 
 
+def _add_planner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="tofu",
+        help="partition-search backend (see the `backends` command)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent plan cache (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="processes for the parallel candidate search",
+    )
+
+
+def _make_planner(args) -> Planner:
+    return Planner(
+        PlannerConfig(
+            backend=args.backend, cache_dir=args.cache_dir, jobs=args.jobs
+        )
+    )
+
+
 def cmd_describe(args) -> int:
     strategies = describe_operator(args.operator)
     print(f"{args.operator}: {len(strategies)} partition-n-reduce strategies")
@@ -56,21 +93,40 @@ def cmd_describe(args) -> int:
     return 0
 
 
+def cmd_backends(args) -> int:
+    print("registered search backends:")
+    for name in available_backends():
+        spec = get_backend(name)
+        extra = " [parallel candidate search]" if spec.supports_factor_orders else ""
+        print(f"  {name:<14} {spec.description}{extra}")
+    return 0
+
+
 def cmd_partition(args) -> int:
     bundle = _build_model(args)
-    plan = partition_graph(bundle.graph, args.workers)
+    planner = _make_planner(args)
+    # Key the plan by the same machine `simulate` models, so the two commands
+    # share --cache-dir entries.
+    plan = planner.plan(
+        bundle.graph, args.workers, machine=k80_8gpu_machine(args.workers)
+    )
     print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
+    print(f"backend: {args.backend}")
     print(plan.summary())
     for weight in bundle.weights[:10]:
         ndim = len(bundle.graph.tensor(weight).shape)
         print(f"  {weight}: {plan.describe_tensor(weight, ndim)}")
+    info = planner.cache_info()
+    print(f"plan cache: {info['hits']} hits, {info['misses']} misses")
     return 0
 
 
 def cmd_simulate(args) -> int:
     bundle = _build_model(args)
-    report = partition_and_simulate(bundle.graph, args.workers)
+    planner = _make_planner(args)
+    report = planner.plan_and_simulate(bundle.graph, args.workers)
     print(f"model: {bundle.name}")
+    print(f"backend: {args.backend}")
     print(report.summary())
     print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
     return 0
@@ -96,19 +152,28 @@ def main(argv=None) -> int:
     p_describe.add_argument("operator")
     p_describe.set_defaults(func=cmd_describe)
 
+    p_backends = sub.add_parser("backends", help="list registered search backends")
+    p_backends.set_defaults(func=cmd_backends)
+
     p_partition = sub.add_parser("partition", help="search a partition plan")
     _add_model_args(p_partition)
+    _add_planner_args(p_partition)
     p_partition.set_defaults(func=cmd_partition)
 
     p_simulate = sub.add_parser("simulate", help="partition and simulate a model")
     _add_model_args(p_simulate)
+    _add_planner_args(p_simulate)
     p_simulate.set_defaults(func=cmd_simulate)
 
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
     p_coverage.set_defaults(func=cmd_coverage)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -137,6 +137,51 @@ def single_dimension_plan(
     return PartitionPlan(num_workers=num_workers, steps=[step], algorithm=algorithm)
 
 
+def plan_to_dict(plan: PartitionPlan) -> Dict:
+    """Convert a plan to a JSON-serialisable dictionary.
+
+    The inverse is :func:`plan_from_dict`; together they back the planner's
+    content-addressed on-disk plan cache and make plans diffable offline.
+    """
+    return {
+        "num_workers": plan.num_workers,
+        "algorithm": plan.algorithm,
+        "search_time_seconds": plan.search_time_seconds,
+        "steps": [
+            {
+                "parts": step.parts,
+                "group_count": step.group_count,
+                "comm_bytes": step.comm_bytes,
+                "weighted_bytes": step.weighted_bytes,
+                "tensor_dims": dict(step.tensor_dims),
+                "op_strategies": dict(step.op_strategies),
+            }
+            for step in plan.steps
+        ],
+    }
+
+
+def plan_from_dict(payload: Dict) -> PartitionPlan:
+    """Rebuild a plan from :func:`plan_to_dict` output."""
+    steps = [
+        StepAssignment(
+            parts=entry["parts"],
+            tensor_dims=dict(entry["tensor_dims"]),
+            op_strategies=dict(entry["op_strategies"]),
+            comm_bytes=entry["comm_bytes"],
+            weighted_bytes=entry["weighted_bytes"],
+            group_count=entry.get("group_count", 1),
+        )
+        for entry in payload["steps"]
+    ]
+    return PartitionPlan(
+        num_workers=payload["num_workers"],
+        steps=steps,
+        search_time_seconds=payload.get("search_time_seconds", 0.0),
+        algorithm=payload.get("algorithm", "tofu-recursive"),
+    )
+
+
 def factorize_workers(num_workers: int) -> List[int]:
     """Factorise ``k`` into ``k1 >= k2 >= ... >= km`` (Sec 5.2).
 

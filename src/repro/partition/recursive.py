@@ -12,7 +12,7 @@ good fit for hierarchical interconnects.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import PartitionError
 from repro.graph.graph import Graph
@@ -32,6 +32,7 @@ def recursive_partition(
     allow_reduction: bool = True,
     max_states: int = 256,
     coarsen_options: Optional[dict] = None,
+    factors: Optional[Sequence[int]] = None,
 ) -> PartitionPlan:
     """Find a partition plan for ``num_workers`` workers.
 
@@ -45,11 +46,24 @@ def recursive_partition(
         max_states: Frontier-DP state cap (safety valve for unusual graphs).
         coarsen_options: Keyword arguments forwarded to :func:`coarsen` (used
             by the coarsening ablation).
+        factors: Optional explicit factorisation ``k1, ..., km`` overriding
+            the default descending prime factorisation; the planner's
+            candidate search uses this to fan out alternative step orders.
     """
     start = time.time()
     if num_workers < 1:
         raise PartitionError(f"invalid worker count {num_workers}")
-    factors = factorize_workers(num_workers)
+    if factors is None:
+        factors = factorize_workers(num_workers)
+    else:
+        factors = list(factors)
+        product = 1
+        for f in factors:
+            product *= f
+        if product != num_workers:
+            raise PartitionError(
+                f"factors {factors} do not multiply to {num_workers} workers"
+            )
     if coarse is None:
         coarse = coarsen(graph, **(coarsen_options or {}))
     if cost_model is None:

@@ -1,0 +1,199 @@
+"""Search-backend protocol and registry.
+
+A *search backend* is a partition-search algorithm behind a uniform callable
+interface: ``(graph, num_workers, **options) -> PartitionPlan``.  The registry
+maps string keys to :class:`BackendSpec` entries so the :class:`Planner`
+facade, the CLI (``--backend``) and the benchmarks can select any registered
+algorithm — Tofu's recursive DP, the non-recursive joint DP of Table 1, and
+the Figure 10 baselines — without hand-wiring imports.
+
+Backends whose search decomposes into an ordered sequence of per-factor steps
+(the recursive family) additionally expose ``factors_fn`` so the planner can
+fan candidate worker factorisations across a process pool
+(:mod:`repro.planner.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence
+
+from repro.baselines.partition_algos import (
+    allrow_greedy_plan,
+    equalchop_plan,
+    spartan_plan,
+)
+from repro.errors import PartitionError
+from repro.graph.graph import Graph
+from repro.partition.dp import joint_partition
+from repro.partition.plan import PartitionPlan
+from repro.partition.recursive import recursive_partition
+
+
+class SearchBackend(Protocol):
+    """Structural type of a partition-search algorithm."""
+
+    def __call__(
+        self, graph: Graph, num_workers: int, **options: object
+    ) -> PartitionPlan: ...
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """One registered search backend.
+
+    Attributes:
+        name: Registry key (what ``--backend`` and ``PlannerConfig`` select).
+        fn: The search entry point.
+        description: One-line summary shown by ``tofu-repro backends``.
+        supports_factor_orders: Whether the backend's search is a sequence of
+            per-factor recursive steps whose order is a degree of freedom.
+        factors_fn: ``(graph, num_workers, factors, **options)`` variant used
+            by the candidate search; required when ``supports_factor_orders``.
+        option_names: Keyword options the backend accepts; the planner
+            rejects anything else up front with a :class:`PartitionError`
+            instead of letting a ``TypeError`` escape from deep inside a
+            search (or a pool worker).
+    """
+
+    name: str
+    fn: SearchBackend
+    description: str = ""
+    supports_factor_orders: bool = False
+    factors_fn: Optional[Callable[..., PartitionPlan]] = None
+    option_names: Sequence[str] = ()
+
+    def validate_options(self, options: dict) -> None:
+        unknown = sorted(set(options) - set(self.option_names))
+        if unknown:
+            supported = ", ".join(sorted(self.option_names)) or "none"
+            raise PartitionError(
+                f"backend {self.name!r} does not accept option(s) {unknown} "
+                f"(supported: {supported})"
+            )
+
+    def search(
+        self,
+        graph: Graph,
+        num_workers: int,
+        factors: Optional[Sequence[int]] = None,
+        **options: object,
+    ) -> PartitionPlan:
+        """Run the backend, with an explicit factor order when supported."""
+        if factors is not None and self.supports_factor_orders:
+            assert self.factors_fn is not None
+            return self.factors_fn(graph, num_workers, factors, **options)
+        return self.fn(graph, num_workers, **options)
+
+
+_REGISTRY: Dict[str, BackendSpec] = {}
+
+
+def register_backend(spec: BackendSpec, *, replace: bool = False) -> BackendSpec:
+    """Register a backend; ``replace=True`` allows overriding an entry."""
+    if spec.supports_factor_orders and spec.factors_fn is None:
+        raise PartitionError(
+            f"backend {spec.name!r} supports factor orders but has no factors_fn"
+        )
+    if spec.name in _REGISTRY and not replace:
+        raise PartitionError(f"search backend {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a backend (used by tests registering temporary backends)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Resolve a backend by name; raises :class:`PartitionError` if unknown."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PartitionError(
+            f"unknown search backend {name!r} (registered: {known})"
+        ) from None
+
+
+def available_backends() -> List[str]:
+    """Sorted names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------------
+def _tofu_factors(graph, num_workers, factors, **options):
+    return recursive_partition(graph, num_workers, factors=factors, **options)
+
+
+def _icml18(graph, num_workers, factors=None, **options):
+    """ICML18: the recursive search with reduction strategies removed
+    (equivalent to :func:`repro.baselines.partition_algos.icml18_plan`, but
+    accepting the full recursive option set)."""
+    plan = recursive_partition(
+        graph, num_workers, factors=factors, allow_reduction=False, **options
+    )
+    plan.algorithm = "icml18"
+    return plan
+
+
+def _icml18_factors(graph, num_workers, factors, **options):
+    return _icml18(graph, num_workers, factors=factors, **options)
+
+
+_RECURSIVE_OPTIONS = ("coarse", "cost_model", "max_states", "coarsen_options")
+
+register_backend(
+    BackendSpec(
+        name="tofu",
+        fn=recursive_partition,
+        description="recursive coarsen+DP search (Sec 5.2, the paper's system)",
+        supports_factor_orders=True,
+        factors_fn=_tofu_factors,
+        option_names=_RECURSIVE_OPTIONS + ("allow_reduction",),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="joint",
+        fn=joint_partition,
+        description="non-recursive joint DP over all steps (Table 1 comparison)",
+        option_names=("coarse", "cost_model", "max_states", "allow_reduction",
+                      "time_limit"),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="icml18",
+        fn=_icml18,
+        description="recursive DP without output-reduction strategies (Jia et al.)",
+        supports_factor_orders=True,
+        factors_fn=_icml18_factors,
+        option_names=_RECURSIVE_OPTIONS,
+    )
+)
+register_backend(
+    BackendSpec(
+        name="equalchop",
+        fn=equalchop_plan,
+        description="single-step DP, one equal chop per tensor (Fig 10)",
+        option_names=("coarse",),
+    )
+)
+register_backend(
+    BackendSpec(
+        name="spartan",
+        fn=spartan_plan,
+        description="greedy largest-tensor-first tiling heuristic (Fig 10)",
+    )
+)
+register_backend(
+    BackendSpec(
+        name="allrow-greedy",
+        fn=allrow_greedy_plan,
+        description="partition everything along dim 0, i.e. data parallelism (Fig 10)",
+    )
+)

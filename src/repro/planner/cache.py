@@ -1,0 +1,182 @@
+"""Content-addressed partition-plan cache.
+
+Planning is the expensive part of the pipeline (Table 1: seconds to hours
+depending on the algorithm), while the inputs that determine the answer are
+small and hashable: the dataflow graph, the worker factorisation, the machine
+model, and the backend configuration.  The cache keys plans by a SHA-256
+digest over a canonical JSON encoding of exactly those four inputs, so
+planning the same WResNet/RNN twice — in one process or across runs when an
+on-disk store is configured — is a hit.
+
+Two tiers:
+
+* an in-memory LRU (``capacity`` entries, 0 disables it), and
+* an optional on-disk JSON store (``cache_dir``), one file per key, built on
+  the same serialisation helpers as :mod:`repro.graph.serialization`.
+
+Plans are stored as dictionaries (:func:`plan_to_dict`) and reconstructed on
+every hit, so callers can freely mutate the returned plan without corrupting
+the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.graph.serialization import graph_to_dict
+from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
+from repro.sim.device import MachineSpec
+
+
+def graph_signature(graph: Graph) -> str:
+    """Content hash of a graph (tensors, nodes, attrs, metadata)."""
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def machine_signature(machine: Optional[MachineSpec]) -> str:
+    """Content hash of a machine model (``"no-machine"`` when unspecified)."""
+    if machine is None:
+        return "no-machine"
+    payload = json.dumps(
+        dataclasses.asdict(machine), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def plan_cache_key(
+    graph: Graph,
+    factors: Sequence[int],
+    machine: Optional[MachineSpec],
+    backend: str,
+    backend_options: Mapping[str, object],
+    *,
+    explore_factor_orders: bool = True,
+) -> str:
+    """The content address of one planning request.
+
+    Raises ``TypeError`` when an input is not JSON-serialisable — e.g. a
+    pre-built ``coarse=CoarsenedGraph`` backend option.  Such inputs have no
+    stable content address (hashing their repr would embed memory addresses),
+    so the planner bypasses the cache for those requests instead.
+    """
+    payload = json.dumps(
+        {
+            "graph": graph_signature(graph),
+            "factors": list(factors),
+            "machine": machine_signature(machine),
+            "backend": backend,
+            "options": backend_options,
+            "explore_factor_orders": bool(explore_factor_orders),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanCache:
+    """In-memory LRU over plan dictionaries, with an optional disk tier."""
+
+    def __init__(self, capacity: int = 128, cache_dir: Optional[str] = None):
+        self.capacity = max(0, capacity)
+        self.cache_dir = cache_dir
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        if cache_dir:
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+            except OSError as exc:
+                raise ReproError(
+                    f"plan cache directory {cache_dir!r} is not usable: {exc}"
+                ) from exc
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0 or self.cache_dir is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def info(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
+
+    # ------------------------------------------------------------------ get
+    def get(self, key: str) -> Optional[PartitionPlan]:
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return plan_from_dict(payload)
+        payload = self._disk_get(key)
+        if payload is not None:
+            self._memory_put(key, payload)
+            self.hits += 1
+            return plan_from_dict(payload)
+        self.misses += 1
+        return None
+
+    # ------------------------------------------------------------------ put
+    def put(self, key: str, plan: PartitionPlan) -> None:
+        payload = plan_to_dict(plan)
+        self._memory_put(key, payload)
+        self._disk_put(key, payload)
+
+    def clear(self) -> None:
+        """Empty both tiers (memory and, when configured, the disk store)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.cache_dir:
+            for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------- internals
+    def _memory_put(self, key: str, payload: Dict) -> None:
+        if self.capacity <= 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _disk_get(self, key: str) -> Optional[Dict]:
+        if not self.cache_dir:
+            return None
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            return entry["plan"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def _disk_put(self, key: str, payload: Dict) -> None:
+        if not self.cache_dir:
+            return
+        entry = json.dumps({"key": key, "plan": payload})
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(entry)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass

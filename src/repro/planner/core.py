@@ -1,0 +1,215 @@
+"""The :class:`Planner` facade — one entry point for the whole pipeline.
+
+``Planner`` owns the end-to-end flow the paper describes: take a built
+training graph (already carrying autodiff metadata), coarsen it, search a
+partition plan with a pluggable backend, and optionally apply the plan and
+simulate the per-device execution.  Around the search it adds the two things
+a production planner needs:
+
+* a content-addressed plan cache (:mod:`repro.planner.cache`) keyed by
+  (graph signature, worker factorisation, machine spec, backend config), and
+* parallel candidate search (:mod:`repro.planner.parallel`) fanning
+  alternative worker factorisations across a process pool.
+
+``repro.api`` keeps its original ``partition_graph`` / ``partition_and_simulate``
+signatures as thin shims over a process-wide default planner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.graph.graph import Graph
+from repro.partition.apply import PartitionedGraph, generate_partitioned_graph
+from repro.partition.plan import PartitionPlan, factorize_workers
+from repro.planner.backends import get_backend
+from repro.planner.cache import PlanCache, plan_cache_key
+from repro.planner.parallel import candidate_factorizations, search_candidates
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.engine import SimResult, TaskGraphSimulator
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Configuration of a :class:`Planner`.
+
+    Attributes:
+        backend: Default search backend (a :func:`repro.planner.backends`
+            registry key); overridable per ``plan()`` call.
+        backend_options: Default keyword options forwarded to the backend.
+        jobs: Process-pool size for the candidate search (1 = in-process).
+            Does not affect the plan found, only wall-clock time, so it is
+            deliberately excluded from the cache key.
+        explore_factor_orders: For backends that support it, search every
+            distinct ordering of the worker factorisation instead of only the
+            descending-prime order (a no-op for power-of-two worker counts).
+        cache_capacity: In-memory LRU size; 0 disables the memory tier.
+        cache_dir: Optional directory for the persistent plan store.
+    """
+
+    backend: str = "tofu"
+    backend_options: Mapping[str, object] = field(default_factory=dict)
+    jobs: int = 1
+    explore_factor_orders: bool = True
+    cache_capacity: int = 128
+    cache_dir: Optional[str] = None
+
+
+@dataclass
+class SimulationReport:
+    """Plan, generated execution, and simulated timing for one graph."""
+
+    plan: PartitionPlan
+    partitioned: PartitionedGraph
+    result: SimResult
+
+    def throughput(self, batch_size: int) -> float:
+        return self.result.throughput(batch_size)
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                self.plan.summary(),
+                self.partitioned.summary(),
+                f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
+                f"comm fraction: {self.result.comm_fraction():.1%}, "
+                f"oom: {self.result.oom}",
+            ]
+        )
+
+
+class Planner:
+    """Facade over search backends, the plan cache, and the simulator."""
+
+    def __init__(
+        self,
+        config: Optional[PlannerConfig] = None,
+        *,
+        cache: Optional[PlanCache] = None,
+    ):
+        self.config = config or PlannerConfig()
+        self.cache = cache or PlanCache(
+            capacity=self.config.cache_capacity, cache_dir=self.config.cache_dir
+        )
+
+    # ------------------------------------------------------------------ plan
+    def plan(
+        self,
+        graph: Graph,
+        num_workers: int,
+        *,
+        machine: Optional[MachineSpec] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Mapping[str, object]] = None,
+    ) -> PartitionPlan:
+        """Search (or recall) a partition plan for ``num_workers`` workers.
+
+        The result for a given (graph, worker factorisation, machine,
+        backend config) is cached; a second call with equal inputs returns an
+        equal plan without re-running the search.  ``machine`` is part of the
+        cache key even though the built-in backends are machine-agnostic (a
+        cost-model-aware backend need not be), so pass the same value to
+        ``plan`` and ``plan_and_simulate`` to share entries between them.
+        Requests whose backend options are not JSON-serialisable (e.g. a
+        pre-built ``coarse`` graph) have no stable content address and bypass
+        the cache entirely.
+        """
+        spec = get_backend(backend or self.config.backend)
+        options = {**self.config.backend_options, **(backend_options or {})}
+        spec.validate_options(options)
+        factors = factorize_workers(num_workers)
+        explore = spec.supports_factor_orders and self.config.explore_factor_orders
+
+        key = None
+        if self.cache.enabled:
+            try:
+                key = plan_cache_key(
+                    graph, factors, machine, spec.name, options,
+                    explore_factor_orders=explore,
+                )
+            except TypeError:
+                key = None
+            else:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    return cached
+
+        plan = self._search(spec, graph, num_workers, options)
+        if key is not None:
+            self.cache.put(key, plan)
+        return plan
+
+    def _search(self, spec, graph, num_workers, options) -> PartitionPlan:
+        if not (spec.supports_factor_orders and self.config.explore_factor_orders):
+            return spec.search(graph, num_workers, **options)
+        candidates = candidate_factorizations(num_workers)
+        if len(candidates) == 1:
+            return spec.search(graph, num_workers, factors=candidates[0], **options)
+        start = time.time()
+        plan = search_candidates(
+            spec, graph, num_workers, candidates, options, jobs=self.config.jobs
+        )
+        plan.search_time_seconds = time.time() - start
+        return plan
+
+    # ------------------------------------------------------------- simulate
+    def plan_and_simulate(
+        self,
+        graph: Graph,
+        num_workers: int = 8,
+        machine: Optional[MachineSpec] = None,
+        *,
+        plan: Optional[PartitionPlan] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Mapping[str, object]] = None,
+        fuse_remote_fetch: bool = True,
+        add_control_dependencies: bool = True,
+        spread_reduction: bool = True,
+    ) -> SimulationReport:
+        """Plan ``graph``, generate the per-device execution and simulate it."""
+        machine = machine or k80_8gpu_machine(num_workers)
+        if plan is None:
+            plan = self.plan(
+                graph,
+                num_workers,
+                machine=machine,
+                backend=backend,
+                backend_options=backend_options,
+            )
+        partitioned = generate_partitioned_graph(
+            graph,
+            plan,
+            machine,
+            fuse_remote_fetch=fuse_remote_fetch,
+            add_control_dependencies=add_control_dependencies,
+            spread_reduction=spread_reduction,
+        )
+        result = TaskGraphSimulator(machine).run(
+            partitioned.tasks, peak_memory=partitioned.per_device_memory
+        )
+        return SimulationReport(plan=plan, partitioned=partitioned, result=result)
+
+    # ------------------------------------------------------------ utilities
+    def cache_info(self) -> Dict[str, int]:
+        """``{"hits": ..., "misses": ..., "size": ...}`` for this planner."""
+        return self.cache.info()
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+
+_DEFAULT_PLANNER: Optional[Planner] = None
+
+
+def default_planner() -> Planner:
+    """The process-wide planner behind the ``repro.api`` shims.
+
+    Sharing one planner (and thus one cache) means every caller of the legacy
+    API benefits from memoised plans automatically.
+    """
+    global _DEFAULT_PLANNER
+    if _DEFAULT_PLANNER is None:
+        _DEFAULT_PLANNER = Planner()
+    return _DEFAULT_PLANNER

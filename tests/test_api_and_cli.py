@@ -37,6 +37,18 @@ class TestAPI:
         report = partition_and_simulate(mlp_bundle.graph, 4, plan=plan)
         assert report.plan is plan
 
+    def test_partition_graph_with_alternative_backend(self, mlp_bundle):
+        plan = partition_graph(mlp_bundle.graph, 4, backend="spartan")
+        assert plan.algorithm == "spartan"
+
+    def test_partition_graph_goes_through_default_planner_cache(self, mlp_bundle):
+        from repro.planner import default_planner
+
+        before = default_planner().cache_info()["hits"]
+        partition_graph(mlp_bundle.graph, 2)
+        partition_graph(mlp_bundle.graph, 2)
+        assert default_planner().cache_info()["hits"] >= before + 1
+
 
 class TestCLI:
     def test_describe_command(self, capsys):
@@ -60,3 +72,45 @@ class TestCLI:
         assert cli_main(["coverage"]) == 0
         out = capsys.readouterr().out
         assert "MXNet" in out
+
+    def test_backends_command(self, capsys):
+        assert cli_main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tofu", "joint", "spartan", "equalchop", "allrow-greedy"):
+            assert name in out
+
+    def test_partition_command_with_every_backend(self, capsys):
+        from repro.planner import available_backends
+
+        for name in available_backends():
+            assert cli_main(["partition", "--model", "mlp", "--batch", "32",
+                             "--hidden", "128", "--layers", "2", "--workers", "4",
+                             "--backend", name]) == 0
+            out = capsys.readouterr().out
+            assert f"backend: {name}" in out
+            assert "PartitionPlan" in out
+
+    def test_partition_command_with_cache_dir(self, tmp_path, capsys):
+        argv = ["partition", "--model", "mlp", "--batch", "32", "--hidden", "128",
+                "--layers", "2", "--workers", "4", "--cache-dir", str(tmp_path)]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert list(tmp_path.glob("*.json")), "plan should be persisted"
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 hits" in out
+
+    def test_library_errors_exit_cleanly(self, tmp_path, capsys):
+        not_a_dir = tmp_path / "file"
+        not_a_dir.write_text("")
+        assert cli_main(["partition", "--model", "mlp", "--workers", "4",
+                         "--cache-dir", str(not_a_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "not usable" in err
+
+    def test_simulate_command_with_jobs(self, capsys):
+        assert cli_main(["simulate", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
