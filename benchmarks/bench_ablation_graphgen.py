@@ -9,10 +9,9 @@ time for an RNN.
 
 from common import once, print_header
 from repro.models.rnn import build_rnn
-from repro.partition.apply import generate_partitioned_graph
 from repro.partition.recursive import recursive_partition
+from repro.runtime import Executor
 from repro.sim.device import k80_8gpu_machine
-from repro.sim.engine import TaskGraphSimulator
 
 GiB = 1 << 30
 
@@ -21,7 +20,7 @@ def bench_ablation_graph_generation(benchmark):
     bundle = build_rnn(num_layers=4, hidden_size=2048, batch_size=128)
     machine = k80_8gpu_machine()
     plan = recursive_partition(bundle.graph, 8)
-    simulator = TaskGraphSimulator(machine)
+    executor = Executor()
 
     variants = {
         "all optimisations": dict(),
@@ -33,9 +32,13 @@ def bench_ablation_graph_generation(benchmark):
     def run():
         out = {}
         for name, opts in variants.items():
-            dist = generate_partitioned_graph(bundle.graph, plan, machine, **opts)
-            sim = simulator.run(dist.tasks, peak_memory=dist.per_device_memory)
-            out[name] = (dist.per_device_peak_bytes, sim.iteration_time)
+            report = executor.run(
+                bundle.graph, plan=plan, machine=machine, backend_options=opts
+            )
+            out[name] = (
+                report.program.per_device_peak_bytes,
+                report.result.iteration_time,
+            )
         return out
 
     results = once(benchmark, run)

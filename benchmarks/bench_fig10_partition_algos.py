@@ -11,10 +11,9 @@ reduction.
 from common import FULL, once, print_header
 from repro.models.resnet import build_wide_resnet
 from repro.models.rnn import build_rnn
-from repro.partition.apply import generate_partitioned_graph
 from repro.planner import Planner, PlannerConfig
+from repro.runtime import Executor
 from repro.sim.device import k80_8gpu_machine
-from repro.sim.engine import TaskGraphSimulator
 
 ORDER = ["allrow-greedy", "spartan", "equalchop", "icml18", "tofu"]
 
@@ -26,20 +25,20 @@ PAPER = {
 
 def _run_algorithms(bundle):
     machine = k80_8gpu_machine()
-    simulator = TaskGraphSimulator(machine)
+    executor = Executor()
     capacity = machine.device(0).memory_bytes
     planner = Planner(PlannerConfig(cache_capacity=0))
     results = {}
     for name in ORDER:
         plan = planner.plan(bundle.graph, 8, machine=machine, backend=name)
-        dist = generate_partitioned_graph(bundle.graph, plan, machine)
-        sim = simulator.run(dist.tasks, peak_memory=dist.per_device_memory)
-        oom = dist.per_device_peak_bytes > capacity
+        report = executor.run(bundle.graph, plan=plan, machine=machine)
+        program = report.program
+        oom = program.per_device_peak_bytes > capacity
         results[name] = {
-            "time": sim.iteration_time,
-            "comm_fraction": sim.comm_fraction(),
+            "time": report.result.iteration_time,
+            "comm_fraction": report.result.comm_fraction(),
             "oom": oom,
-            "comm_gib": dist.total_comm_bytes / 2**30,
+            "comm_gib": program.total_comm_bytes / 2**30,
         }
     return results
 

@@ -14,6 +14,8 @@ from collections import Counter
 from common import FULL, once, print_header
 from repro.models.resnet import build_wide_resnet
 from repro.planner import Planner, PlannerConfig
+from repro.runtime import Executor
+from repro.sim.device import k80_8gpu_machine
 
 
 def bench_fig11_partition_plan(benchmark):
@@ -46,6 +48,20 @@ def bench_fig11_partition_plan(benchmark):
     print(f"... ({len(conv_nodes)} convolutions in total)")
     print("weight tiling histogram:     ", dict(weight_tilings))
     print("activation tiling histogram: ", dict(act_tilings))
+
+    # Lower + simulate the found plan through the runtime facade, so the
+    # figure also reports what the plan costs at execution time.
+    machine = k80_8gpu_machine()
+    report = Executor().run(graph, plan=plan, machine=machine)
+    gib = 1 << 30
+    print(
+        f"simulated execution (8 GPUs): "
+        f"{report.result.iteration_time * 1e3:.1f} ms/iter, "
+        f"per-device mem {report.program.per_device_peak_bytes / gib:.2f} GiB, "
+        f"comm {report.program.total_comm_bytes / gib:.2f} GiB/iter"
+    )
+    assert report.result.iteration_time > 0
+    assert not report.result.oom
 
     batch_dims_used = set()
     channel_dims_used = set()

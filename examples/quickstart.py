@@ -1,8 +1,11 @@
-"""Quickstart: describe an operator, plan a small model, simulate it.
+"""Quickstart: describe an operator, plan a small model, execute it.
 
 All planning goes through the :class:`repro.Planner` facade, which owns the
 search backends (``tofu``, ``joint``, the Figure 10 baselines), a
-content-addressed plan cache, and the parallel candidate search.
+content-addressed plan cache, and the parallel candidate search.  All
+execution goes through the :class:`repro.runtime.Executor` facade: one plan
+can be lowered and simulated under several execution backends
+(``tofu-partitioned``, ``single-device``, ``data-parallel``, ``swap``, ...).
 
 Run with::
 
@@ -11,6 +14,8 @@ Run with::
 
 from repro import Planner, PlannerConfig, describe_operator
 from repro.models import build_mlp
+from repro.runtime import Executor
+from repro.sim.device import k80_8gpu_machine
 
 
 def main() -> None:
@@ -43,12 +48,24 @@ def main() -> None:
     print(f"\nspartan baseline cost: {spartan.total_comm_bytes / 2**30:.3f} GiB "
           f"vs tofu {plan.total_comm_bytes / 2**30:.3f} GiB")
 
-    # 5. Generate the per-device execution and simulate one training
-    #    iteration on the modelled 8-GPU machine.
+    # 5. Lower the plan to per-device tasks and simulate one training
+    #    iteration on the modelled 8-GPU machine (Executor facade).
     report = planner.plan_and_simulate(graph, num_workers=8, plan=plan)
     print("\n== simulated execution ==")
     print(report.summary())
     print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
+
+    # 6. Plan once, execute under several backends: the same graph simulated
+    #    as Tofu-partitioned vs data-parallel vs single-GPU swapping.
+    executor = Executor()
+    machine = k80_8gpu_machine()
+    print("\n== one graph, three execution styles ==")
+    for backend in ("tofu-partitioned", "data-parallel", "swap"):
+        run = executor.run(graph, plan=plan, machine=machine, backend=backend)
+        print(
+            f"  {backend:<17} {run.result.iteration_time * 1e3:7.1f} ms/iter  "
+            f"(comm fraction {run.result.comm_fraction():.0%})"
+        )
 
 
 if __name__ == "__main__":

@@ -20,7 +20,16 @@ from repro.planner import (
     default_planner,
     register_backend,
 )
+from repro.runtime import (
+    Executor,
+    ExecutorConfig,
+    LoweredProgram,
+    available_execution_backends,
+    default_executor,
+    register_execution_backend,
+)
 from repro.errors import (
+    ExecutionError,
     GraphError,
     NoStrategyError,
     NonAffineError,
@@ -35,7 +44,11 @@ from repro.errors import (
 __version__ = "0.1.0"
 
 __all__ = [
+    "ExecutionError",
+    "Executor",
+    "ExecutorConfig",
     "GraphError",
+    "LoweredProgram",
     "NoStrategyError",
     "NonAffineError",
     "OutOfMemoryError",
@@ -49,9 +62,12 @@ __all__ = [
     "TDLError",
     "__version__",
     "available_backends",
+    "available_execution_backends",
+    "default_executor",
     "default_planner",
     "describe_operator",
     "partition_and_simulate",
     "partition_graph",
     "register_backend",
+    "register_execution_backend",
 ]

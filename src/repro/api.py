@@ -9,11 +9,14 @@ planning of the same model is a cache hit even for legacy callers:
   discovers for a single operator from its TDL description.
 * :func:`partition_graph` — search a :class:`PartitionPlan` with any
   registered backend (``backend="tofu"`` by default).
-* :func:`partition_and_simulate` — additionally generate the per-device
-  execution and simulate one training iteration on the modelled machine.
+* :func:`partition_and_simulate` — additionally lower the plan to per-device
+  execution (via the runtime subsystem's ``tofu-partitioned`` backend) and
+  simulate one training iteration on the modelled machine.
 
 For anything beyond one-shot calls — choosing backends, controlling the
-cache, parallel search — construct a :class:`repro.planner.Planner` directly.
+cache, parallel search — construct a :class:`repro.planner.Planner` directly;
+for other execution styles (single-device, operator placement, data-parallel,
+swapping) construct a :class:`repro.runtime.Executor`.
 """
 
 from __future__ import annotations

@@ -8,6 +8,7 @@ from repro.baselines.evaluation import (
     evaluate_smallbatch,
     evaluate_swapping,
     evaluate_tofu,
+    round_robin_placement,
 )
 from repro.baselines.partition_algos import (
     ALGORITHMS,
@@ -30,6 +31,7 @@ __all__ = [
     "evaluate_swapping",
     "evaluate_tofu",
     "icml18_plan",
+    "round_robin_placement",
     "spartan_plan",
     "tofu_plan",
 ]

@@ -4,6 +4,11 @@ Every evaluator takes a ``build_fn(batch_size) -> ModelBundle`` so it can pick
 its own batch size the way the paper does: the Ideal baseline uses the batch
 that saturates a GPU regardless of memory, while SmallBatch / Op-Placement /
 Tofu use the largest batch that fits (Sec 7.1, "Baseline and Alternatives").
+
+Execution goes through the :class:`repro.runtime.Executor` facade: each
+system maps onto one registered execution backend (``single-device``,
+``swap``, ``placement``, ``tofu-partitioned``), so the evaluators only decide
+batch sizes and read the simulated verdicts.
 """
 
 from __future__ import annotations
@@ -13,12 +18,9 @@ from typing import Callable, Dict, Optional
 
 from repro.graph.memory_planner import plan_memory
 from repro.models.layers import ModelBundle
-from repro.partition.apply import generate_partitioned_graph
 from repro.partition.plan import PartitionPlan
+from repro.runtime import Executor
 from repro.sim.device import MachineSpec, k80_8gpu_machine
-from repro.sim.engine import TaskGraphSimulator
-from repro.sim.swap import simulate_with_swapping
-from repro.sim.tasks import placement_tasks, single_device_tasks
 
 BuildFn = Callable[[int], ModelBundle]
 GiB = 1 << 30
@@ -64,6 +66,31 @@ def _estimate_max_batch(
     return _round_down_pow2(probe_batch * scale)
 
 
+def round_robin_placement(bundle: ModelBundle, num_devices: int) -> Dict[str, int]:
+    """Round-robin layers across devices; backward/optimiser nodes follow
+    their forward layer (the Operator-Placement policy of Sec 7.1)."""
+    graph = bundle.graph
+    layer_of_node = dict(bundle.layer_of_node)
+    bwd_nodes_of = graph.metadata.get("bwd_nodes_of", {})
+    for fwd, bwds in bwd_nodes_of.items():
+        layer = layer_of_node.get(fwd, 0)
+        for bwd in bwds:
+            layer_of_node.setdefault(bwd, layer)
+    optimizer_nodes_of = graph.metadata.get("optimizer_nodes_of", {})
+    for weight, nodes in optimizer_nodes_of.items():
+        consumers = graph.consumers_of(weight)
+        layer = 0
+        for consumer in consumers:
+            if consumer.name in layer_of_node:
+                layer = layer_of_node[consumer.name]
+                break
+        for node in nodes:
+            layer_of_node.setdefault(node, layer)
+    return {
+        node: layer_of_node.get(node, 0) % num_devices for node in graph.nodes
+    }
+
+
 # ---------------------------------------------------------------------------
 # Ideal
 # ---------------------------------------------------------------------------
@@ -81,16 +108,20 @@ def evaluate_ideal(
     num = machine.num_devices
     per_gpu_batch = max(1, global_batch // num)
     bundle = build_fn(per_gpu_batch)
-    tasks = single_device_tasks(bundle.graph, machine)
-    result = TaskGraphSimulator(machine).run(tasks, check_memory=False)
-    throughput = num * per_gpu_batch / result.iteration_time
+    report = Executor().run(
+        bundle.graph,
+        machine=machine,
+        backend="single-device",
+        backend_options={"check_memory": False},
+    )
+    throughput = num * per_gpu_batch / report.result.iteration_time
     return SystemResult(
         system="ideal",
         model=bundle.name,
         batch_size=per_gpu_batch * num,
-        iteration_time=result.iteration_time,
+        iteration_time=report.result.iteration_time,
         throughput=throughput,
-        per_device_memory_gib=plan_memory(bundle.graph).peak_bytes / GiB,
+        per_device_memory_gib=report.program.per_device_peak_bytes / GiB,
         notes="memory limit ignored",
     )
 
@@ -130,14 +161,18 @@ def evaluate_smallbatch(
             oom=True,
             notes="model weights exceed single-GPU memory at any batch size",
         )
-    tasks = single_device_tasks(bundle.graph, machine)
-    result = TaskGraphSimulator(machine).run(tasks, check_memory=False)
-    throughput = num * batch / result.iteration_time
+    report = Executor().run(
+        bundle.graph,
+        machine=machine,
+        backend="single-device",
+        backend_options={"check_memory": False},
+    )
+    throughput = num * batch / report.result.iteration_time
     return SystemResult(
         system="smallbatch",
         model=bundle.name,
         batch_size=batch * num,
-        iteration_time=result.iteration_time,
+        iteration_time=report.result.iteration_time,
         throughput=throughput,
         per_device_memory_gib=plan.peak_bytes / GiB,
     )
@@ -156,10 +191,14 @@ def evaluate_swapping(
     num = machine.num_devices
     per_gpu_batch = max(1, global_batch // num)
     bundle = build_fn(per_gpu_batch)
-    result = simulate_with_swapping(bundle.graph, machine, concurrent_gpus=num)
-    throughput = (
-        0.0 if result.oom else num * per_gpu_batch / result.iteration_time
+    report = Executor().run(
+        bundle.graph,
+        machine=machine,
+        backend="swap",
+        backend_options={"concurrent_gpus": num},
     )
+    result = report.result
+    throughput = 0.0 if result.oom else num * per_gpu_batch / result.iteration_time
     comm_fraction = 0.0
     if result.iteration_time > 0 and not result.oom:
         comm_fraction = min(
@@ -174,8 +213,8 @@ def evaluate_swapping(
         oom=result.oom,
         comm_fraction=comm_fraction,
         extras={
-            "swapped_in_gib": result.swapped_in_bytes / GiB,
-            "swapped_out_gib": result.swapped_out_bytes / GiB,
+            "swapped_in_gib": report.program.stats["swapped_in_bytes"] / GiB,
+            "swapped_out_gib": report.program.stats["swapped_out_bytes"] / GiB,
         },
     )
 
@@ -183,31 +222,6 @@ def evaluate_swapping(
 # ---------------------------------------------------------------------------
 # Operator placement
 # ---------------------------------------------------------------------------
-def _device_of_all_nodes(bundle: ModelBundle, num_devices: int) -> Dict[str, int]:
-    """Round-robin layers across devices; backward/optimiser nodes follow
-    their forward layer (Sec 7.1)."""
-    graph = bundle.graph
-    layer_of_node = dict(bundle.layer_of_node)
-    bwd_nodes_of = graph.metadata.get("bwd_nodes_of", {})
-    for fwd, bwds in bwd_nodes_of.items():
-        layer = layer_of_node.get(fwd, 0)
-        for bwd in bwds:
-            layer_of_node.setdefault(bwd, layer)
-    optimizer_nodes_of = graph.metadata.get("optimizer_nodes_of", {})
-    for weight, nodes in optimizer_nodes_of.items():
-        consumers = graph.consumers_of(weight)
-        layer = 0
-        for consumer in consumers:
-            if consumer.name in layer_of_node:
-                layer = layer_of_node[consumer.name]
-                break
-        for node in nodes:
-            layer_of_node.setdefault(node, layer)
-    return {
-        node: layer_of_node.get(node, 0) % num_devices for node in graph.nodes
-    }
-
-
 def evaluate_opplacement(
     build_fn: BuildFn,
     global_batch: int,
@@ -220,20 +234,29 @@ def evaluate_opplacement(
 
     ``overhead_factor > 1`` models frameworks without in-place gradient
     aggregation (the TensorFlow comparison of Table 3): every kernel pays the
-    extra memory traffic of materialising aggregation buffers.
+    extra memory traffic of materialising aggregation buffers.  The factor is
+    applied between the lowering and simulation stages of the executor.
     """
     machine = machine or k80_8gpu_machine()
+    executor = Executor()
     num = machine.num_devices
     capacity = machine.device(0).memory_bytes
+
+    def lower(bundle: ModelBundle):
+        return executor.lower(
+            bundle.graph,
+            machine=machine,
+            backend="placement",
+            backend_options={
+                "device_of_node": round_robin_placement(bundle, num)
+            },
+        )
 
     # Probe at a small batch to estimate how per-device memory scales, then
     # evaluate only the candidate batch sizes that might fit.
     probe_batch = min(global_batch, max(num, 8))
     probe = build_fn(probe_batch)
-    probe_memory = max(
-        placement_tasks(probe.graph, machine, _device_of_all_nodes(probe, num))[1].values(),
-        default=0,
-    )
+    probe_memory = max(lower(probe).per_device_memory.values(), default=0)
     persistent = 3.0 * probe.weight_bytes() / num
     activation = max(0.0, probe_memory - persistent)
     batch = min(
@@ -243,14 +266,16 @@ def evaluate_opplacement(
 
     while batch >= 1:
         bundle = build_fn(batch)
-        device_of_node = _device_of_all_nodes(bundle, num)
-        tasks, memory = placement_tasks(bundle.graph, machine, device_of_node)
+        program = lower(bundle)
         if overhead_factor != 1.0:
-            for task in tasks.values():
+            for task in program.tasks.values():
                 task.duration *= overhead_factor
-            memory = {d: int(m * min(overhead_factor, 1.5)) for d, m in memory.items()}
-        if max(memory.values(), default=0) <= capacity:
-            result = TaskGraphSimulator(machine).run(tasks, peak_memory=memory)
+            program.per_device_memory = {
+                d: int(m * min(overhead_factor, 1.5))
+                for d, m in program.per_device_memory.items()
+            }
+        if program.per_device_peak_bytes <= capacity:
+            result = executor.simulate(program, machine)
             throughput = batch / result.iteration_time
             return SystemResult(
                 system=system_name,
@@ -259,7 +284,7 @@ def evaluate_opplacement(
                 iteration_time=result.iteration_time,
                 throughput=throughput,
                 comm_fraction=result.comm_fraction(),
-                per_device_memory_gib=max(memory.values()) / GiB,
+                per_device_memory_gib=program.per_device_peak_bytes / GiB,
             )
         batch //= 2
     return SystemResult(
@@ -294,13 +319,15 @@ def evaluate_tofu(
     Planning goes through the planner subsystem: ``backend`` selects any
     registered search algorithm (the Figure 10 alternatives included) and
     ``planner`` can supply a shared plan cache.  ``plan_fn`` remains as an
-    escape hatch for fully custom planning.
+    escape hatch for fully custom planning.  Execution goes through the
+    runtime subsystem's ``tofu-partitioned`` backend.
     """
     # Imported here: repro.baselines is a dependency of the planner's backend
     # registry, so a module-level import would be circular.
     from repro.planner import Planner
 
     machine = machine or k80_8gpu_machine()
+    executor = Executor()
     num = machine.num_devices
     capacity = machine.device(0).memory_bytes
     if plan_fn is None:
@@ -308,22 +335,28 @@ def evaluate_tofu(
         plan_fn = lambda bundle, workers: planner.plan(
             bundle.graph, workers, machine=machine, backend=backend
         )
+    lowering_options = {
+        "fuse_remote_fetch": fuse_remote_fetch,
+        "add_control_dependencies": add_control_dependencies,
+        "spread_reduction": spread_reduction,
+    }
+
+    def lower(bundle: ModelBundle, plan: PartitionPlan):
+        return executor.lower(
+            bundle.graph,
+            plan=plan,
+            machine=machine,
+            backend="tofu-partitioned",
+            backend_options=lowering_options,
+        )
 
     # Probe at a small batch to estimate how the per-device footprint scales
     # with batch size, then evaluate only plausible batch sizes.
     probe_batch = min(global_batch, max(num, 8))
     probe = build_fn(probe_batch)
-    probe_plan = plan_fn(probe, num)
-    probe_dist = generate_partitioned_graph(
-        probe.graph,
-        probe_plan,
-        machine,
-        fuse_remote_fetch=fuse_remote_fetch,
-        add_control_dependencies=add_control_dependencies,
-        spread_reduction=spread_reduction,
-    )
+    probe_program = lower(probe, plan_fn(probe, num))
     persistent = 3.0 * probe.weight_bytes() / num
-    activation = max(0.0, probe_dist.per_device_peak_bytes - persistent)
+    activation = max(0.0, probe_program.per_device_peak_bytes - persistent)
     batch = min(
         global_batch,
         max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
@@ -334,19 +367,10 @@ def evaluate_tofu(
         bundle = build_fn(batch)
         last_bundle = bundle
         plan = plan_fn(bundle, num)
-        dist = generate_partitioned_graph(
-            bundle.graph,
-            plan,
-            machine,
-            fuse_remote_fetch=fuse_remote_fetch,
-            add_control_dependencies=add_control_dependencies,
-            spread_reduction=spread_reduction,
-        )
-        peak = dist.per_device_peak_bytes
+        program = lower(bundle, plan)
+        peak = program.per_device_peak_bytes
         if peak <= capacity:
-            result = TaskGraphSimulator(machine).run(
-                dist.tasks, peak_memory=dist.per_device_memory
-            )
+            result = executor.simulate(program, machine)
             throughput = batch / result.iteration_time
             return SystemResult(
                 system=system_name,
@@ -358,7 +382,7 @@ def evaluate_tofu(
                 comm_fraction=result.comm_fraction(),
                 per_device_memory_gib=peak / GiB,
                 extras={
-                    "comm_gib_per_iter": dist.total_comm_bytes / GiB,
+                    "comm_gib_per_iter": program.total_comm_bytes / GiB,
                     "search_time_s": plan.search_time_seconds,
                 },
             )

@@ -1,17 +1,24 @@
-"""Command-line interface, built on the :class:`repro.planner.Planner` facade.
+"""Command-line interface, built on the :class:`repro.planner.Planner` and
+:class:`repro.runtime.Executor` facades.
 
 ``partition`` and ``simulate`` accept a ``--backend`` (any registered search
 backend — see ``tofu-repro backends``), a ``--cache-dir`` for the persistent
-plan store, and ``--jobs`` for the parallel candidate search.
+plan store, and ``--jobs`` for the parallel candidate search.  ``simulate``
+additionally accepts an ``--executor`` (any registered execution backend —
+see ``tofu-repro executors``) to run the model under a different execution
+style: Tofu's partitioned execution, single-device, operator placement, data
+parallelism, or CPU-memory swapping.
 
 Examples::
 
     tofu-repro describe conv2d
     tofu-repro backends
+    tofu-repro executors
     tofu-repro partition --model wresnet --depth 50 --widen 4 --batch 32 --workers 8
     tofu-repro partition --model mlp --backend spartan --workers 8
     tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 \\
         --workers 8 --cache-dir ~/.cache/tofu-plans --jobs 4
+    tofu-repro simulate --model mlp --executor swap --workers 8
     tofu-repro coverage
 """
 
@@ -21,12 +28,18 @@ import argparse
 import sys
 
 from repro.api import describe_operator
+from repro.baselines.evaluation import round_robin_placement
 from repro.errors import ReproError
 from repro.models.mlp import build_mlp
 from repro.models.resnet import build_wide_resnet
 from repro.models.rnn import build_rnn
 from repro.ops.catalog import mxnet_catalog_counts
 from repro.planner import Planner, PlannerConfig, available_backends, get_backend
+from repro.runtime import (
+    Executor,
+    available_execution_backends,
+    get_execution_backend,
+)
 from repro.sim.device import k80_8gpu_machine
 from repro.tdl.registry import GLOBAL_REGISTRY
 
@@ -102,6 +115,15 @@ def cmd_backends(args) -> int:
     return 0
 
 
+def cmd_executors(args) -> int:
+    print("registered execution backends:")
+    for name in available_execution_backends():
+        spec = get_execution_backend(name)
+        extra = " [needs partition plan]" if spec.requires_plan else ""
+        print(f"  {name:<17} {spec.description}{extra}")
+    return 0
+
+
 def cmd_partition(args) -> int:
     bundle = _build_model(args)
     planner = _make_planner(args)
@@ -123,10 +145,29 @@ def cmd_partition(args) -> int:
 
 def cmd_simulate(args) -> int:
     bundle = _build_model(args)
-    planner = _make_planner(args)
-    report = planner.plan_and_simulate(bundle.graph, args.workers)
+    machine = k80_8gpu_machine(args.workers)
+    executor_name = args.executor
+    spec = get_execution_backend(executor_name)
     print(f"model: {bundle.name}")
-    print(f"backend: {args.backend}")
+    plan = None
+    if spec.requires_plan:
+        # Any plan-requiring execution backend (tofu-partitioned or a
+        # plugin) gets a plan from the planner facade first.
+        print(f"backend: {args.backend}")
+        plan = _make_planner(args).plan(
+            bundle.graph, args.workers, machine=machine, backend=args.backend
+        )
+    options = {}
+    if executor_name == "placement":
+        options["device_of_node"] = round_robin_placement(bundle, args.workers)
+    report = Executor().run(
+        bundle.graph,
+        plan=plan,
+        machine=machine,
+        backend=executor_name,
+        backend_options=options,
+    )
+    print(f"executor: {executor_name}")
     print(report.summary())
     print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
     return 0
@@ -155,6 +196,11 @@ def main(argv=None) -> int:
     p_backends = sub.add_parser("backends", help="list registered search backends")
     p_backends.set_defaults(func=cmd_backends)
 
+    p_executors = sub.add_parser(
+        "executors", help="list registered execution backends"
+    )
+    p_executors.set_defaults(func=cmd_executors)
+
     p_partition = sub.add_parser("partition", help="search a partition plan")
     _add_model_args(p_partition)
     _add_planner_args(p_partition)
@@ -163,6 +209,12 @@ def main(argv=None) -> int:
     p_simulate = sub.add_parser("simulate", help="partition and simulate a model")
     _add_model_args(p_simulate)
     _add_planner_args(p_simulate)
+    p_simulate.add_argument(
+        "--executor",
+        choices=available_execution_backends(),
+        default="tofu-partitioned",
+        help="execution backend (see the `executors` command)",
+    )
     p_simulate.set_defaults(func=cmd_simulate)
 
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")

@@ -50,6 +50,11 @@ class SimulationError(ReproError):
     """Raised for malformed simulator inputs."""
 
 
+class ExecutionError(ReproError):
+    """Raised when an execution backend cannot lower a graph (unknown
+    backend, missing partition plan, unsupported lowering options, ...)."""
+
+
 class OutOfMemoryError(SimulationError):
     """Raised (or recorded) when a simulated device exceeds its memory capacity."""
 

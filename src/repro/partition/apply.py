@@ -21,13 +21,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.graph import Graph
-from repro.graph.memory_planner import plan_memory
 from repro.graph.node import OpNode
 from repro.graph.tensor import TensorSpec
 from repro.partition.cost import CommunicationCostModel
 from repro.partition.plan import PartitionPlan
 from repro.partition.recursive import _shrink_shapes
-from repro.sim.costmodel import node_kernel_time
+from repro.runtime.passes import (
+    make_comm_task,
+    make_compute_task,
+    memory_plan_of,
+    producer_deps,
+    scheduled_nodes,
+)
 from repro.sim.device import MachineSpec, k80_8gpu_machine
 from repro.sim.engine import Task
 
@@ -129,7 +134,7 @@ def generate_partitioned_graph(
     total_comm = sum(fetch_bytes.values()) + sum(reduce_bytes.values())
 
     sharded = build_sharded_graph(graph, plan)
-    memory_plan = plan_memory(sharded, allow_reuse=add_control_dependencies)
+    memory_plan = memory_plan_of(sharded, allow_reuse=add_control_dependencies)
 
     # Communication buffers: the fused MultiFetch kernel assembles remote
     # regions in place (one staging buffer); the unfused path splits, copies
@@ -149,7 +154,7 @@ def generate_partitioned_graph(
     scale = 1.0 / num_devices
     launch_penalty = 0.0 if fuse_remote_fetch else 3 * machine.kernel_launch_overhead
 
-    topo = graph.topo_order()
+    topo = scheduled_nodes(graph)
     for device in range(num_devices):
         device_spec = machine.device(device)
         for node in topo:
@@ -157,11 +162,7 @@ def generate_partitioned_graph(
             compute_name = f"{name}@{device}"
             deps: List[str] = []
 
-            producers = []
-            for tensor in node.inputs:
-                producer = graph.tensor(tensor).producer
-                if producer is not None:
-                    producers.append(producer)
+            producers = producer_deps(graph, node)
 
             node_fetch = fetch_bytes[name] / num_devices
             node_reduce = reduce_bytes[name]
@@ -176,26 +177,17 @@ def generate_partitioned_graph(
                 # Remote regions come from every peer: the fetch waits for the
                 # producers on all devices (a conservative synchronisation).
                 fetch_deps = [f"{p}@{d}" for p in producers for d in range(num_devices)]
-                tasks[fetch_name] = Task(
-                    name=fetch_name,
-                    device=device,
-                    kind="comm",
-                    comm_bytes=comm_total,
-                    channel="p2p",
-                    deps=fetch_deps,
+                tasks[fetch_name] = make_comm_task(
+                    fetch_name, device, comm_total,
+                    channel="p2p", deps=fetch_deps,
                 )
                 deps.append(fetch_name)
             deps.extend(f"{p}@{device}" for p in producers)
 
-            duration = node_kernel_time(
-                graph, name, device_spec, machine, scale=scale
-            ) + launch_penalty
-            tasks[compute_name] = Task(
-                name=compute_name,
-                device=device,
-                kind="compute",
-                duration=duration,
-                deps=deps,
+            tasks[compute_name] = make_compute_task(
+                graph, name, device, device_spec, machine,
+                deps=deps, scale=scale, extra_duration=launch_penalty,
+                task_name=compute_name,
             )
 
     return PartitionedGraph(

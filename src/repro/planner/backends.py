@@ -11,12 +11,16 @@ Backends whose search decomposes into an ordered sequence of per-factor steps
 (the recursive family) additionally expose ``factors_fn`` so the planner can
 fan candidate worker factorisations across a process pool
 (:mod:`repro.planner.parallel`).
+
+Third-party search algorithms can also be registered through the
+``repro.planner_backends`` ``importlib.metadata`` entry-point group; see
+:func:`load_entry_point_backends`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Protocol, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence
 
 from repro.baselines.partition_algos import (
     allrow_greedy_plan,
@@ -28,6 +32,7 @@ from repro.graph.graph import Graph
 from repro.partition.dp import joint_partition
 from repro.partition.plan import PartitionPlan
 from repro.partition.recursive import recursive_partition
+from repro.plugins import BackendRegistry, keyword_option_names
 
 
 class SearchBackend(Protocol):
@@ -53,7 +58,9 @@ class BackendSpec:
         option_names: Keyword options the backend accepts; the planner
             rejects anything else up front with a :class:`PartitionError`
             instead of letting a ``TypeError`` escape from deep inside a
-            search (or a pool worker).
+            search (or a pool worker).  ``None`` skips validation (the
+            backend accepts any options — used for entry-point callables
+            taking ``**kwargs``).
     """
 
     name: str
@@ -61,9 +68,11 @@ class BackendSpec:
     description: str = ""
     supports_factor_orders: bool = False
     factors_fn: Optional[Callable[..., PartitionPlan]] = None
-    option_names: Sequence[str] = ()
+    option_names: Optional[Sequence[str]] = ()
 
     def validate_options(self, options: dict) -> None:
+        if self.option_names is None:
+            return
         unknown = sorted(set(options) - set(self.option_names))
         if unknown:
             supported = ", ".join(sorted(self.option_names)) or "none"
@@ -86,7 +95,32 @@ class BackendSpec:
         return self.fn(graph, num_workers, **options)
 
 
-_REGISTRY: Dict[str, BackendSpec] = {}
+ENTRY_POINT_GROUP = "repro.planner_backends"
+
+
+def _wrap_callable(name: str, fn: Callable) -> BackendSpec:
+    """Spec for a bare search callable (entry-point plugin form): the
+    accepted options come from the callable's own signature."""
+    return BackendSpec(
+        name=name,
+        fn=fn,
+        option_names=keyword_option_names(fn, skip=("graph", "num_workers")),
+    )
+
+
+_REGISTRY = BackendRegistry(
+    kind="search",
+    error_cls=PartitionError,
+    entry_point_group=ENTRY_POINT_GROUP,
+    spec_type=BackendSpec,
+    make_spec=_wrap_callable,
+)
+
+
+def load_entry_point_backends(*, reload: bool = False) -> List[str]:
+    """Register search backends advertised under the
+    ``repro.planner_backends`` entry-point group; returns the names added."""
+    return _REGISTRY.load_entry_points(reload=reload)
 
 
 def register_backend(spec: BackendSpec, *, replace: bool = False) -> BackendSpec:
@@ -95,31 +129,22 @@ def register_backend(spec: BackendSpec, *, replace: bool = False) -> BackendSpec
         raise PartitionError(
             f"backend {spec.name!r} supports factor orders but has no factors_fn"
         )
-    if spec.name in _REGISTRY and not replace:
-        raise PartitionError(f"search backend {spec.name!r} is already registered")
-    _REGISTRY[spec.name] = spec
-    return spec
+    return _REGISTRY.register(spec, replace=replace)
 
 
 def unregister_backend(name: str) -> None:
     """Remove a backend (used by tests registering temporary backends)."""
-    _REGISTRY.pop(name, None)
+    _REGISTRY.unregister(name)
 
 
 def get_backend(name: str) -> BackendSpec:
     """Resolve a backend by name; raises :class:`PartitionError` if unknown."""
-    try:
-        return _REGISTRY[name]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise PartitionError(
-            f"unknown search backend {name!r} (registered: {known})"
-        ) from None
+    return _REGISTRY.get(name)
 
 
 def available_backends() -> List[str]:
     """Sorted names of all registered backends."""
-    return sorted(_REGISTRY)
+    return _REGISTRY.available()
 
 
 # ---------------------------------------------------------------------------

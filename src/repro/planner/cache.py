@@ -12,7 +12,10 @@ Two tiers:
 
 * an in-memory LRU (``capacity`` entries, 0 disables it), and
 * an optional on-disk JSON store (``cache_dir``), one file per key, built on
-  the same serialisation helpers as :mod:`repro.graph.serialization`.
+  the same serialisation helpers as :mod:`repro.graph.serialization`.  The
+  disk tier accounts its size and, under a ``max_bytes`` budget, evicts the
+  least-recently-used entries (hits refresh an entry's recency via its file
+  mtime, so warm plans survive eviction sweeps).
 
 Plans are stored as dictionaries (:func:`plan_to_dict`) and reconstructed on
 every hit, so callers can freely mutate the returned plan without corrupting
@@ -87,12 +90,20 @@ def plan_cache_key(
 class PlanCache:
     """In-memory LRU over plan dictionaries, with an optional disk tier."""
 
-    def __init__(self, capacity: int = 128, cache_dir: Optional[str] = None):
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        *,
+        max_bytes: Optional[int] = None,
+    ):
         self.capacity = max(0, capacity)
         self.cache_dir = cache_dir
+        self.max_bytes = max_bytes
         self._memory: "OrderedDict[str, Dict]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.disk_evictions = 0
         if cache_dir:
             try:
                 os.makedirs(cache_dir, exist_ok=True)
@@ -109,7 +120,16 @@ class PlanCache:
         return len(self._memory)
 
     def info(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
+        info = {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
+        if self.cache_dir:
+            info["disk_bytes"] = self.disk_bytes()
+            info["disk_entries"] = len(self._disk_entries())
+            info["disk_evictions"] = self.disk_evictions
+        return info
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk store (0 without a disk tier)."""
+        return sum(size for _, size, _ in self._disk_entries())
 
     # ------------------------------------------------------------------ get
     def get(self, key: str) -> Optional[PartitionPlan]:
@@ -137,6 +157,7 @@ class PlanCache:
         self._memory.clear()
         self.hits = 0
         self.misses = 0
+        self.disk_evictions = 0
         if self.cache_dir:
             for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
                 try:
@@ -159,12 +180,18 @@ class PlanCache:
     def _disk_get(self, key: str) -> Optional[Dict]:
         if not self.cache_dir:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key), "r", encoding="utf-8") as fh:
+            with open(path, "r", encoding="utf-8") as fh:
                 entry = json.load(fh)
-            return entry["plan"]
+            payload = entry["plan"]
         except (OSError, ValueError, KeyError):
             return None
+        try:
+            os.utime(path, None)  # refresh LRU recency on hit
+        except OSError:
+            pass
+        return payload
 
     def _disk_put(self, key: str, payload: Dict) -> None:
         if not self.cache_dir:
@@ -180,3 +207,44 @@ class PlanCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+            return
+        self._disk_enforce_budget(keep=self._path(key))
+
+    def _disk_entries(self):
+        """``(path, size, mtime)`` of every stored plan file."""
+        if not self.cache_dir:
+            return []
+        entries = []
+        for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def _disk_enforce_budget(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used files until the store fits ``max_bytes``.
+
+        ``keep`` protects the entry just written: even when one plan alone
+        exceeds the budget the caller's own plan must survive the sweep, so
+        hit-after-put stays guaranteed within a process.
+        """
+        if self.max_bytes is None or not self.cache_dir:
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda item: item[2])  # oldest mtime first
+        for path, size, _ in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and os.path.abspath(path) == os.path.abspath(keep):
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.disk_evictions += 1

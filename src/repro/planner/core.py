@@ -22,13 +22,19 @@ from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
 from repro.graph.graph import Graph
-from repro.partition.apply import PartitionedGraph, generate_partitioned_graph
 from repro.partition.plan import PartitionPlan, factorize_workers
 from repro.planner.backends import get_backend
 from repro.planner.cache import PlanCache, plan_cache_key
 from repro.planner.parallel import candidate_factorizations, search_candidates
+from repro.runtime.core import Executor, SimulationReport
 from repro.sim.device import MachineSpec, k80_8gpu_machine
-from repro.sim.engine import SimResult, TaskGraphSimulator
+
+__all__ = [
+    "Planner",
+    "PlannerConfig",
+    "SimulationReport",
+    "default_planner",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +53,9 @@ class PlannerConfig:
             descending-prime order (a no-op for power-of-two worker counts).
         cache_capacity: In-memory LRU size; 0 disables the memory tier.
         cache_dir: Optional directory for the persistent plan store.
+        cache_max_bytes: Byte budget for the on-disk store; when the stored
+            plans exceed it the least-recently-used entries are evicted.
+            ``None`` means unbounded.
     """
 
     backend: str = "tofu"
@@ -55,29 +64,7 @@ class PlannerConfig:
     explore_factor_orders: bool = True
     cache_capacity: int = 128
     cache_dir: Optional[str] = None
-
-
-@dataclass
-class SimulationReport:
-    """Plan, generated execution, and simulated timing for one graph."""
-
-    plan: PartitionPlan
-    partitioned: PartitionedGraph
-    result: SimResult
-
-    def throughput(self, batch_size: int) -> float:
-        return self.result.throughput(batch_size)
-
-    def summary(self) -> str:
-        return "\n".join(
-            [
-                self.plan.summary(),
-                self.partitioned.summary(),
-                f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
-                f"comm fraction: {self.result.comm_fraction():.1%}, "
-                f"oom: {self.result.oom}",
-            ]
-        )
+    cache_max_bytes: Optional[int] = None
 
 
 class Planner:
@@ -91,7 +78,9 @@ class Planner:
     ):
         self.config = config or PlannerConfig()
         self.cache = cache or PlanCache(
-            capacity=self.config.cache_capacity, cache_dir=self.config.cache_dir
+            capacity=self.config.cache_capacity,
+            cache_dir=self.config.cache_dir,
+            max_bytes=self.config.cache_max_bytes,
         )
 
     # ------------------------------------------------------------------ plan
@@ -168,7 +157,8 @@ class Planner:
         add_control_dependencies: bool = True,
         spread_reduction: bool = True,
     ) -> SimulationReport:
-        """Plan ``graph``, generate the per-device execution and simulate it."""
+        """Plan ``graph``, then lower and simulate it through the
+        :class:`repro.runtime.Executor` (``tofu-partitioned`` backend)."""
         machine = machine or k80_8gpu_machine(num_workers)
         if plan is None:
             plan = self.plan(
@@ -178,18 +168,17 @@ class Planner:
                 backend=backend,
                 backend_options=backend_options,
             )
-        partitioned = generate_partitioned_graph(
+        return Executor().run(
             graph,
-            plan,
-            machine,
-            fuse_remote_fetch=fuse_remote_fetch,
-            add_control_dependencies=add_control_dependencies,
-            spread_reduction=spread_reduction,
+            plan=plan,
+            machine=machine,
+            backend="tofu-partitioned",
+            backend_options={
+                "fuse_remote_fetch": fuse_remote_fetch,
+                "add_control_dependencies": add_control_dependencies,
+                "spread_reduction": spread_reduction,
+            },
         )
-        result = TaskGraphSimulator(machine).run(
-            partitioned.tasks, peak_memory=partitioned.per_device_memory
-        )
-        return SimulationReport(plan=plan, partitioned=partitioned, result=result)
 
     # ------------------------------------------------------------ utilities
     def cache_info(self) -> Dict[str, int]:

@@ -1,0 +1,195 @@
+"""Entry-point plugin loading shared by the planner and runtime registries.
+
+Third-party packages advertise search algorithms and execution backends
+through ``importlib.metadata`` entry points::
+
+    [project.entry-points."repro.planner_backends"]
+    my-search = "my_pkg.search:SPEC"
+
+    [project.entry-points."repro.runtime_backends"]
+    my-executor = "my_pkg.exec:make_spec"
+
+An entry point may resolve to a ready-made spec (:class:`BackendSpec` /
+:class:`ExecutionBackendSpec`), a zero-argument factory returning one, or a
+bare lowering/search callable (wrapped into a spec named after the entry
+point).  Loading is lazy — the registries pull the group in on first lookup —
+and a broken third-party entry point degrades to a warning instead of taking
+the CLI down.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+_LOADED_GROUPS: Set[str] = set()
+
+
+def keyword_option_names(
+    fn: Callable, *, skip: Sequence[str] = ()
+) -> Optional[Sequence[str]]:
+    """Keyword options a backend callable accepts, from its signature.
+
+    Returns ``None`` (meaning "accept anything") when the callable takes
+    ``**kwargs`` or its signature cannot be inspected, so wrapped plugin
+    backends are never locked out of their own options.
+    """
+    try:
+        signature = inspect.signature(fn)
+    except (TypeError, ValueError):
+        return None
+    names = []
+    for name, param in signature.parameters.items():
+        if param.kind == inspect.Parameter.VAR_KEYWORD:
+            return None
+        if name in skip or param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.POSITIONAL_ONLY,
+        ):
+            continue
+        if (
+            param.kind == inspect.Parameter.KEYWORD_ONLY
+            or param.default is not inspect.Parameter.empty
+        ):
+            names.append(name)
+    return tuple(names)
+
+
+class BackendRegistry:
+    """String-keyed backend registry with entry-point loading.
+
+    Shared by the planner's search backends and the runtime's execution
+    backends so registration, lookup, listing, and lazy entry-point loading
+    behave identically on both sides (one fix applies to both registries).
+    """
+
+    def __init__(
+        self,
+        *,
+        kind: str,
+        error_cls: type,
+        entry_point_group: str,
+        spec_type: type,
+        make_spec: Callable[[str, Callable], object],
+    ):
+        self.kind = kind
+        self.error_cls = error_cls
+        self.entry_point_group = entry_point_group
+        self.spec_type = spec_type
+        self.make_spec = make_spec
+        self.specs: Dict[str, object] = {}
+
+    def register(self, spec, *, replace: bool = False):
+        name = spec.name
+        if name in self.specs and not replace:
+            raise self.error_cls(
+                f"{self.kind} backend {name!r} is already registered"
+            )
+        self.specs[name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        self.specs.pop(name, None)
+
+    def load_entry_points(self, *, reload: bool = False) -> List[str]:
+        return load_entry_points(
+            self.entry_point_group,
+            self.specs,
+            make_spec=self.make_spec,
+            spec_type=self.spec_type,
+            reload=reload,
+        )
+
+    def get(self, name: str):
+        if name not in self.specs:
+            self.load_entry_points()
+        try:
+            return self.specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self.specs))
+            raise self.error_cls(
+                f"unknown {self.kind} backend {name!r} (registered: {known})"
+            ) from None
+
+    def available(self) -> List[str]:
+        self.load_entry_points()
+        return sorted(self.specs)
+
+
+def _iter_entry_points(group: str):
+    """All installed entry points of ``group`` (patchable in tests)."""
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - py<3.8 has no importlib.metadata
+        return []
+    try:
+        entry_points = metadata.entry_points()
+    except Exception:  # pragma: no cover - corrupt installation metadata
+        return []
+    if hasattr(entry_points, "select"):  # 3.10+ selectable interface
+        return list(entry_points.select(group=group))
+    return list(entry_points.get(group, []))  # 3.9 dict interface
+
+
+def load_entry_points(
+    group: str,
+    registry: Dict[str, object],
+    *,
+    make_spec: Callable[[str, Callable], object],
+    spec_type: type,
+    reload: bool = False,
+) -> List[str]:
+    """Register every entry point of ``group`` into ``registry``.
+
+    ``spec_type`` is the registry's spec dataclass; anything else the entry
+    point yields is treated as a factory (called with no arguments) or as the
+    backend callable itself (wrapped via ``make_spec(name, callable)``).
+    Existing registry keys are never overridden.  Returns the names added.
+    """
+    if group in _LOADED_GROUPS and not reload:
+        return []
+    _LOADED_GROUPS.add(group)
+
+    added: List[str] = []
+    for entry_point in _iter_entry_points(group):
+        try:
+            loaded = entry_point.load()
+            spec = _resolve_spec(entry_point.name, loaded, make_spec, spec_type)
+        except Exception as exc:  # third-party code: degrade, don't crash
+            warnings.warn(
+                f"ignoring broken {group!r} entry point "
+                f"{entry_point.name!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        name = getattr(spec, "name", entry_point.name)
+        if name in registry:
+            continue
+        registry[name] = spec
+        added.append(name)
+    return added
+
+
+def _resolve_spec(name: str, loaded, make_spec, spec_type):
+    if isinstance(loaded, spec_type):
+        return loaded
+    if callable(loaded):
+        try:
+            produced = loaded()
+        except TypeError:
+            # Takes arguments: it is the backend callable itself.
+            return make_spec(name, loaded)
+        if isinstance(produced, spec_type):
+            return produced
+        return make_spec(name, loaded)
+    raise TypeError(
+        f"entry point {name!r} must yield a {spec_type.__name__}, a factory "
+        f"returning one, or a backend callable (got {type(loaded).__name__})"
+    )
+
+
+def reset_entry_point_group(group: str) -> None:
+    """Forget that ``group`` was loaded (test helper)."""
+    _LOADED_GROUPS.discard(group)

@@ -1,0 +1,64 @@
+"""Unified runtime subsystem — the execution twin of :mod:`repro.planner`.
+
+One staged lowering pipeline — ``Graph`` (+ optional ``PartitionPlan``) →
+:class:`LoweredProgram` of device-assigned compute/comm tasks + memory report
+→ :class:`SimulationReport` — behind the :class:`Executor` facade, with
+pluggable execution backends (:mod:`repro.runtime.backends`) selected by
+string key, mirroring the planner's search-backend registry.
+
+Stages and where they come from in the paper:
+
+===========================  ==============================================
+Stage                        Paper section
+===========================  ==============================================
+Topo scheduling              Sec 6 — dependency-driven execution order
+                             (MXNet's scheduler the evaluation relies on)
+Liveness + memory planning   Sec 6 — static buffer reuse under control
+                             dependencies; per-worker footprint of Sec 5
+Kernel-time costing          Sec 7.1 — the simulated K80 roofline that
+                             prices each sharded kernel
+Comm-task emission           Sec 6 — remote fetch (MultiFetch) and
+                             spread-out reduction traffic; PCI-e vs shared
+                             CPU link channels of Sec 7.1
+Simulation                   Sec 7 — one training iteration under link
+                             contention (:mod:`repro.sim.engine`)
+===========================  ==============================================
+
+Built-in execution backends: ``tofu-partitioned`` (Sec 6), ``single-device``
+(Ideal/SmallBatch, Sec 7.1), ``placement`` (operator placement, Sec 7.1),
+``data-parallel`` (reference + swapping accounting), ``swap`` (the LRU
+swapping baseline, Sec 7.1/7.2).  Third-party backends register through the
+``repro.runtime_backends`` entry-point group.
+"""
+
+from repro.runtime.backends import (
+    ExecutionBackend,
+    ExecutionBackendSpec,
+    available_execution_backends,
+    get_execution_backend,
+    load_entry_point_backends,
+    register_execution_backend,
+    unregister_execution_backend,
+)
+from repro.runtime.core import (
+    Executor,
+    ExecutorConfig,
+    SimulationReport,
+    default_executor,
+)
+from repro.runtime.program import LoweredProgram
+
+__all__ = [
+    "ExecutionBackend",
+    "ExecutionBackendSpec",
+    "Executor",
+    "ExecutorConfig",
+    "LoweredProgram",
+    "SimulationReport",
+    "available_execution_backends",
+    "default_executor",
+    "get_execution_backend",
+    "load_entry_point_backends",
+    "register_execution_backend",
+    "unregister_execution_backend",
+]

@@ -1,0 +1,453 @@
+"""Execution-backend protocol and registry.
+
+An *execution backend* lowers a dataflow graph (plus, for partitioned
+execution, a :class:`PartitionPlan`) to a :class:`LoweredProgram` of
+device-assigned tasks and a memory report — the execution twin of the
+planner's search-backend registry.  The registry maps string keys to
+:class:`ExecutionBackendSpec` entries so the :class:`repro.runtime.Executor`
+facade, the CLI (``--executor``) and the evaluation harness can select any
+registered execution style without hand-wiring imports:
+
+* ``tofu-partitioned`` — Tofu's per-worker sharded execution (Sec 6);
+* ``single-device`` — the whole graph on one GPU (Ideal / SmallBatch);
+* ``placement`` — whole operators assigned to devices, cross-device
+  activations copied over PCI-e (the Operator-Placement baseline);
+* ``data-parallel`` — every device runs the full graph on its batch shard and
+  gradients are ring-all-reduced;
+* ``swap`` — single-GPU execution with LRU swapping over the shared CPU link
+  (the swapping baseline of Sec 7.1).
+
+Third-party backends can also be registered through the
+``repro.runtime_backends`` ``importlib.metadata`` entry-point group; see
+:func:`load_entry_point_backends`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.graph.graph import Graph
+from repro.plugins import BackendRegistry, keyword_option_names
+from repro.runtime.passes import (
+    device_memory_report,
+    make_comm_task,
+    make_compute_task,
+    memory_plan_of,
+    producer_deps,
+    scheduled_nodes,
+)
+from repro.runtime.program import LoweredProgram
+from repro.sim.device import MachineSpec
+from repro.sim.engine import Task
+from repro.sim.swap import swap_residency_schedule
+
+
+class ExecutionBackend:
+    """Structural type of a lowering entry point (callable protocol)."""
+
+    def __call__(
+        self,
+        graph: Graph,
+        machine: MachineSpec,
+        plan=None,
+        **options: object,
+    ) -> LoweredProgram: ...
+
+
+@dataclass(frozen=True)
+class ExecutionBackendSpec:
+    """One registered execution backend.
+
+    Attributes:
+        name: Registry key (what ``--executor`` and ``ExecutorConfig`` select).
+        lower: The lowering entry point
+            ``(graph, machine, plan=None, **options) -> LoweredProgram``.
+        description: One-line summary shown by ``tofu-repro executors``.
+        requires_plan: Whether lowering needs a :class:`PartitionPlan`.
+        option_names: Keyword options the backend accepts; the executor
+            rejects anything else up front with an :class:`ExecutionError`.
+            ``None`` skips validation (the backend accepts any options —
+            used for entry-point callables taking ``**kwargs``).
+    """
+
+    name: str
+    lower: Callable[..., LoweredProgram]
+    description: str = ""
+    requires_plan: bool = False
+    option_names: Optional[Sequence[str]] = ()
+
+    def validate_options(self, options: Mapping[str, object]) -> None:
+        if self.option_names is None:
+            return
+        unknown = sorted(set(options) - set(self.option_names))
+        if unknown:
+            supported = ", ".join(sorted(self.option_names)) or "none"
+            raise ExecutionError(
+                f"execution backend {self.name!r} does not accept option(s) "
+                f"{unknown} (supported: {supported})"
+            )
+
+
+ENTRY_POINT_GROUP = "repro.runtime_backends"
+
+
+def _wrap_callable(name: str, fn: Callable) -> ExecutionBackendSpec:
+    """Spec for a bare lowering callable (entry-point plugin form): the
+    accepted options come from the callable's own signature."""
+    return ExecutionBackendSpec(
+        name=name,
+        lower=fn,
+        option_names=keyword_option_names(fn, skip=("graph", "machine", "plan")),
+    )
+
+
+_REGISTRY = BackendRegistry(
+    kind="execution",
+    error_cls=ExecutionError,
+    entry_point_group=ENTRY_POINT_GROUP,
+    spec_type=ExecutionBackendSpec,
+    make_spec=_wrap_callable,
+)
+
+
+def register_execution_backend(
+    spec: ExecutionBackendSpec, *, replace: bool = False
+) -> ExecutionBackendSpec:
+    """Register a backend; ``replace=True`` allows overriding an entry."""
+    return _REGISTRY.register(spec, replace=replace)
+
+
+def unregister_execution_backend(name: str) -> None:
+    """Remove a backend (used by tests registering temporary backends)."""
+    _REGISTRY.unregister(name)
+
+
+def load_entry_point_backends(*, reload: bool = False) -> List[str]:
+    """Register backends advertised under the ``repro.runtime_backends``
+    entry-point group; returns the names that were added."""
+    return _REGISTRY.load_entry_points(reload=reload)
+
+
+def get_execution_backend(name: str) -> ExecutionBackendSpec:
+    """Resolve a backend by name; raises :class:`ExecutionError` if unknown."""
+    return _REGISTRY.get(name)
+
+
+def available_execution_backends() -> List[str]:
+    """Sorted names of all registered execution backends."""
+    return _REGISTRY.available()
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------------
+def lower_single_device(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    device: int = 0,
+    check_memory: bool = True,
+) -> LoweredProgram:
+    """One compute task per node, all on the same device."""
+    device_spec = machine.device(device)
+    tasks: Dict[str, Task] = {}
+    for node in scheduled_nodes(graph):
+        tasks[node.name] = make_compute_task(
+            graph, node.name, device, device_spec, machine,
+            deps=producer_deps(graph, node),
+        )
+    return LoweredProgram(
+        backend="single-device",
+        num_devices=1,
+        tasks=tasks,
+        per_device_memory=device_memory_report(graph, [device]),
+        check_memory=check_memory,
+    )
+
+
+def placement_memory_report(
+    graph: Graph,
+    device_of_node: Mapping[str, int],
+    num_devices: int,
+) -> Dict[int, int]:
+    """Per-device memory under operator placement.
+
+    Buffers are charged to the device of the producing node (graph inputs are
+    charged to the device of their first consumer); transient buffers reuse
+    the global memory plan so the estimate stays consistent with the
+    single-device accounting.
+    """
+    plan = memory_plan_of(graph)
+    device_of_buffer: Dict[int, int] = {}
+    per_device: Dict[int, int] = {d: 0 for d in range(num_devices)}
+    for tensor_name, buffer_id in plan.buffer_of.items():
+        spec = graph.tensor(tensor_name)
+        if spec.producer is not None:
+            device = device_of_node.get(spec.producer, 0)
+        else:
+            consumers = graph.consumers_of(tensor_name)
+            device = device_of_node.get(consumers[0].name, 0) if consumers else 0
+        if buffer_id in device_of_buffer:
+            continue
+        device_of_buffer[buffer_id] = device
+        per_device[device] = per_device.get(device, 0) + plan.buffer_sizes[buffer_id]
+    return per_device
+
+
+def lower_placement(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    device_of_node: Optional[Mapping[str, int]] = None,
+) -> LoweredProgram:
+    """Operator-placement execution: each node runs on its assigned device and
+    tensors crossing devices are copied over PCI-e."""
+    if device_of_node is None:
+        raise ExecutionError(
+            "execution backend 'placement' needs a device_of_node mapping "
+            "(node name -> device index)"
+        )
+    tasks: Dict[str, Task] = {}
+    total_comm = 0.0
+    for node in scheduled_nodes(graph):
+        device = device_of_node.get(node.name, 0)
+        device_spec = machine.device(device)
+        deps = []
+        for tensor in node.inputs:
+            producer = graph.tensor(tensor).producer
+            if producer is None:
+                continue
+            producer_device = device_of_node.get(producer, 0)
+            if producer_device == device:
+                deps.append(producer)
+            else:
+                copy_name = f"{tensor}@copy_to{device}"
+                if copy_name not in tasks:
+                    copy_bytes = float(graph.tensor(tensor).size_bytes())
+                    tasks[copy_name] = make_comm_task(
+                        copy_name, device, copy_bytes,
+                        channel="p2p", deps=[producer],
+                    )
+                    total_comm += copy_bytes
+                deps.append(copy_name)
+        tasks[node.name] = make_compute_task(
+            graph, node.name, device, device_spec, machine, deps=deps
+        )
+    memory = placement_memory_report(graph, device_of_node, machine.num_devices)
+    return LoweredProgram(
+        backend="placement",
+        num_devices=machine.num_devices,
+        tasks=tasks,
+        per_device_memory=memory,
+        total_comm_bytes=total_comm,
+    )
+
+
+def lower_data_parallel(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    weight_bytes: Optional[float] = None,
+) -> LoweredProgram:
+    """Data-parallel execution: every device runs the full graph on 1/k of the
+    batch and gradients are all-reduced over PCI-e."""
+    num = machine.num_devices
+    if weight_bytes is None:
+        weight_bytes = float(graph.weight_bytes())
+    tasks: Dict[str, Task] = {}
+    total_comm = 0.0
+    scale = 1.0 / num
+    topo = scheduled_nodes(graph)
+    for device in range(num):
+        device_spec = machine.device(device)
+        for node in topo:
+            deps = [f"{p}@{device}" for p in producer_deps(graph, node)]
+            tasks[f"{node.name}@{device}"] = make_compute_task(
+                graph, node.name, device, device_spec, machine,
+                deps=deps, scale=scale, task_name=f"{node.name}@{device}",
+            )
+        # Ring all-reduce of the gradients: 2 * (k-1)/k of the weight bytes
+        # traverse each device's link.
+        last_node = list(graph.nodes)[-1]
+        reduce_bytes = 2.0 * (num - 1) / num * weight_bytes
+        tasks[f"allreduce@{device}"] = make_comm_task(
+            f"allreduce@{device}", device, reduce_bytes,
+            channel="p2p", deps=[f"{last_node}@{device}"],
+        )
+        total_comm += reduce_bytes
+    memory = device_memory_report(graph, range(num))
+    return LoweredProgram(
+        backend="data-parallel",
+        num_devices=num,
+        tasks=tasks,
+        per_device_memory=memory,
+        total_comm_bytes=total_comm,
+    )
+
+
+def lower_swap(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    device_index: int = 0,
+    concurrent_gpus: Optional[int] = None,
+    prefetch: bool = True,
+    warm_iterations: int = 1,
+) -> LoweredProgram:
+    """Single-GPU execution with CPU-memory swapping on the shared host link.
+
+    The residency state machine (:func:`repro.sim.swap.swap_residency_schedule`)
+    decides what moves; lowering prices those moves as ``"cpu"``-channel comm
+    tasks.  ``concurrent_gpus`` GPUs run the same schedule at once, so each
+    recorded transfer is charged ``concurrent_gpus`` times over the shared
+    aggregate link — which is how the paper's swapping baseline collapses when
+    all eight GPUs swap together (Sec 7.2).  With ``prefetch`` the transfer
+    for an operator overlaps its computation (the per-step dependency barrier
+    joins them); without it the computation waits for the transfer.
+    """
+    if concurrent_gpus is None:
+        concurrent_gpus = machine.num_devices
+    concurrent_gpus = max(1, concurrent_gpus)
+    schedule = swap_residency_schedule(
+        graph, machine, device_index=device_index, warm_iterations=warm_iterations
+    )
+    device_spec = machine.device(device_index)
+    capacity = device_spec.memory_bytes
+
+    tasks: Dict[str, Task] = {}
+    total_comm = 0.0
+    prev_compute: Optional[str] = None
+    prev_transfer: Optional[str] = None
+    for step in schedule.steps:
+        barrier = [t for t in (prev_compute, prev_transfer) if t is not None]
+        transfer_name = None
+        moved = step.moved_in_bytes + step.moved_out_bytes
+        if moved > 0:
+            transfer_name = f"{step.node}:swap"
+            # All concurrent GPUs replay this transfer over the one shared
+            # host link, so the aggregate link carries k times the bytes.
+            link_bytes = moved * concurrent_gpus
+            tasks[transfer_name] = make_comm_task(
+                transfer_name, device_index, link_bytes,
+                channel="cpu", deps=barrier,
+            )
+            total_comm += link_bytes
+        compute_deps = list(barrier)
+        if not prefetch and transfer_name is not None:
+            compute_deps.append(transfer_name)
+        tasks[step.node] = make_compute_task(
+            graph, step.node, device_index, device_spec, machine,
+            deps=compute_deps,
+        )
+        prev_compute = step.node
+        prev_transfer = transfer_name
+
+    # The memory report is the LRU's resident-set peak; on OOM it is the
+    # working set that did not fit, so the simulator's capacity check fails.
+    required = schedule.oom_required_bytes if schedule.oom else min(
+        schedule.peak_resident_bytes, capacity
+    )
+    return LoweredProgram(
+        backend="swap",
+        num_devices=1,
+        tasks=tasks,
+        per_device_memory={device_index: required},
+        total_comm_bytes=total_comm,
+        stats={
+            "swapped_in_bytes": schedule.swapped_in_bytes,
+            "swapped_out_bytes": schedule.swapped_out_bytes,
+            "concurrent_gpus": float(concurrent_gpus),
+        },
+    )
+
+
+def lower_tofu_partitioned(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    fuse_remote_fetch: bool = True,
+    add_control_dependencies: bool = True,
+    spread_reduction: bool = True,
+) -> LoweredProgram:
+    """Tofu's partitioned execution (Sec 6): per-worker sharded compute with
+    fetch/reduce traffic, through :func:`generate_partitioned_graph`."""
+    # Imported lazily: partition.apply builds on the shared lowering passes
+    # of this package, so a module-level import would be circular.
+    from repro.partition.apply import generate_partitioned_graph
+
+    if plan is None:
+        raise ExecutionError(
+            "execution backend 'tofu-partitioned' needs a PartitionPlan "
+            "(pass plan=... or use Planner.plan first)"
+        )
+    partitioned = generate_partitioned_graph(
+        graph,
+        plan,
+        machine,
+        fuse_remote_fetch=fuse_remote_fetch,
+        add_control_dependencies=add_control_dependencies,
+        spread_reduction=spread_reduction,
+    )
+    return LoweredProgram(
+        backend="tofu-partitioned",
+        num_devices=partitioned.num_devices,
+        tasks=partitioned.tasks,
+        per_device_memory=partitioned.per_device_memory,
+        total_comm_bytes=partitioned.total_comm_bytes,
+        plan=plan,
+        partitioned=partitioned,
+    )
+
+
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="tofu-partitioned",
+        lower=lower_tofu_partitioned,
+        description="per-worker sharded execution of a partition plan (Sec 6)",
+        requires_plan=True,
+        option_names=(
+            "fuse_remote_fetch", "add_control_dependencies", "spread_reduction",
+        ),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="single-device",
+        lower=lower_single_device,
+        description="whole graph on one GPU (Ideal / SmallBatch baselines)",
+        option_names=("device", "check_memory"),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="placement",
+        lower=lower_placement,
+        description="operator placement with PCI-e activation copies (Sec 7.1)",
+        option_names=("device_of_node",),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="data-parallel",
+        lower=lower_data_parallel,
+        description="full graph per device on a batch shard, ring all-reduce",
+        option_names=("weight_bytes",),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="swap",
+        lower=lower_swap,
+        description="single-GPU LRU swapping over the shared CPU link (Sec 7.1)",
+        option_names=(
+            "device_index", "concurrent_gpus", "prefetch", "warm_iterations",
+        ),
+    )
+)

@@ -1,0 +1,179 @@
+"""The :class:`Executor` facade — one entry point for execution.
+
+``Executor`` owns the staged lowering pipeline the paper's runtime implies:
+take a built graph (plus, for partitioned execution, a plan from the
+:class:`repro.planner.Planner`), lower it with a pluggable execution backend
+to a :class:`LoweredProgram` of device-assigned tasks and a memory report,
+and simulate that program under link contention on the modelled machine.
+
+The three stages are individually exposed (``lower`` → ``simulate`` → or
+``run`` for both), so callers can inspect or adjust the lowered program —
+e.g. the framework-overhead ablation of Table 3 scales task durations between
+lowering and simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional
+
+from repro.graph.graph import Graph
+from repro.runtime.backends import get_execution_backend
+from repro.runtime.program import LoweredProgram
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.engine import SimResult, TaskGraphSimulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
+    from repro.partition.apply import PartitionedGraph
+    from repro.partition.plan import PartitionPlan
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Configuration of an :class:`Executor`.
+
+    Attributes:
+        backend: Default execution backend (a registry key of
+            :mod:`repro.runtime.backends`); overridable per ``run()`` call.
+        backend_options: Default keyword options forwarded to the backend.
+    """
+
+    backend: str = "tofu-partitioned"
+    backend_options: Mapping[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class SimulationReport:
+    """Plan (if any), lowered execution, and simulated timing for one graph."""
+
+    plan: Optional["PartitionPlan"]
+    partitioned: Optional["PartitionedGraph"]
+    result: SimResult
+    program: Optional[LoweredProgram] = None
+
+    @property
+    def backend(self) -> str:
+        return self.program.backend if self.program is not None else ""
+
+    def throughput(self, batch_size: int) -> float:
+        return self.result.throughput(batch_size)
+
+    def summary(self) -> str:
+        lines = []
+        if self.plan is not None:
+            lines.append(self.plan.summary())
+        if self.partitioned is not None:
+            lines.append(self.partitioned.summary())
+        elif self.program is not None:
+            lines.append(self.program.summary())
+        lines.append(
+            f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
+            f"comm fraction: {self.result.comm_fraction():.1%}, "
+            f"oom: {self.result.oom}"
+        )
+        return "\n".join(lines)
+
+
+class Executor:
+    """Facade over execution backends, lowering passes, and the simulator."""
+
+    def __init__(self, config: Optional[ExecutorConfig] = None):
+        self.config = config or ExecutorConfig()
+
+    def _resolve_machine(
+        self, machine: Optional[MachineSpec], plan: Optional["PartitionPlan"]
+    ) -> MachineSpec:
+        if machine is not None:
+            return machine
+        if plan is not None:
+            return k80_8gpu_machine(plan.num_workers)
+        return k80_8gpu_machine()
+
+    # ----------------------------------------------------------------- lower
+    def lower(
+        self,
+        graph: Graph,
+        *,
+        plan: Optional["PartitionPlan"] = None,
+        machine: Optional[MachineSpec] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Mapping[str, object]] = None,
+    ) -> LoweredProgram:
+        """Lower ``graph`` to a device-assigned task program (no simulation)."""
+        spec = get_execution_backend(backend or self.config.backend)
+        options = {**self.config.backend_options, **(backend_options or {})}
+        spec.validate_options(options)
+        if spec.requires_plan and plan is None:
+            from repro.errors import ExecutionError
+
+            raise ExecutionError(
+                f"execution backend {spec.name!r} requires a partition plan"
+            )
+        machine = self._resolve_machine(machine, plan)
+        program = spec.lower(graph, machine, plan, **options)
+        if program.machine is None:
+            program.machine = machine
+        return program
+
+    # -------------------------------------------------------------- simulate
+    def simulate(
+        self,
+        program: LoweredProgram,
+        machine: Optional[MachineSpec] = None,
+        *,
+        check_memory: Optional[bool] = None,
+    ) -> SimResult:
+        """Simulate a lowered program (list scheduling).
+
+        ``machine`` defaults to the machine the program was lowered for —
+        kernel durations and the memory report were priced on it, so
+        simulating on a different machine is an explicit choice.
+        """
+        if machine is None:
+            machine = program.machine
+        machine = self._resolve_machine(machine, program.plan)
+        if check_memory is None:
+            check_memory = program.check_memory
+        return TaskGraphSimulator(machine).run(
+            program.tasks,
+            peak_memory=program.per_device_memory,
+            check_memory=check_memory,
+        )
+
+    # -------------------------------------------------------------------- run
+    def run(
+        self,
+        graph: Graph,
+        *,
+        plan: Optional["PartitionPlan"] = None,
+        machine: Optional[MachineSpec] = None,
+        backend: Optional[str] = None,
+        backend_options: Optional[Mapping[str, object]] = None,
+    ) -> SimulationReport:
+        """Lower ``graph`` with the selected backend and simulate it."""
+        machine = self._resolve_machine(machine, plan)
+        program = self.lower(
+            graph,
+            plan=plan,
+            machine=machine,
+            backend=backend,
+            backend_options=backend_options,
+        )
+        result = self.simulate(program, machine)
+        return SimulationReport(
+            plan=program.plan if program.plan is not None else plan,
+            partitioned=program.partitioned,
+            result=result,
+            program=program,
+        )
+
+
+_DEFAULT_EXECUTOR: Optional[Executor] = None
+
+
+def default_executor() -> Executor:
+    """The process-wide executor behind the legacy convenience entry points."""
+    global _DEFAULT_EXECUTOR
+    if _DEFAULT_EXECUTOR is None:
+        _DEFAULT_EXECUTOR = Executor()
+    return _DEFAULT_EXECUTOR

@@ -1,0 +1,122 @@
+"""Shared lowering passes.
+
+Every execution backend lowers a dataflow graph to simulator tasks through
+the same small set of stages; keeping them here (instead of re-implementing
+them per builder, as the pre-refactor ``sim/tasks.py`` / ``partition/apply.py``
+did) makes each stage independently testable and reusable:
+
+* **Topo scheduling** — :func:`scheduled_nodes` fixes the execution order;
+  :func:`producer_deps` derives a node's compute dependencies from tensor
+  producers (the dependency-driven scheduling of Sec 6).
+* **Liveness / memory planning** — :func:`device_memory_report` runs the
+  static memory planner (Sec 6, buffer reuse under control dependencies) and
+  reports per-device peak bytes.
+* **Kernel-time costing** — :func:`make_compute_task` prices a node with the
+  roofline cost model (Sec 7.1) and emits its compute task.
+* **Comm-task emission** — :func:`make_comm_task` emits a transfer on a
+  validated channel (PCI-e peer-to-peer or the shared CPU link, Sec 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.graph.memory_planner import MemoryPlan, plan_memory
+from repro.graph.node import OpNode
+from repro.graph.scheduler import liveness, topo_schedule  # noqa: F401  (re-export)
+from repro.sim.costmodel import node_kernel_time
+from repro.sim.device import DeviceSpec, MachineSpec
+from repro.sim.engine import CHANNELS, Task
+
+
+def scheduled_nodes(graph: Graph) -> List[OpNode]:
+    """Topo-scheduling pass: the deterministic execution order of ``graph``."""
+    return list(graph.topo_order())
+
+
+def producer_deps(graph: Graph, node: OpNode) -> List[str]:
+    """Names of the nodes producing ``node``'s inputs (its compute deps)."""
+    deps: List[str] = []
+    for tensor in node.inputs:
+        producer = graph.tensor(tensor).producer
+        if producer is not None:
+            deps.append(producer)
+    return deps
+
+
+def make_compute_task(
+    graph: Graph,
+    node_name: str,
+    device: int,
+    device_spec: DeviceSpec,
+    machine: MachineSpec,
+    *,
+    deps: Sequence[str] = (),
+    scale: float = 1.0,
+    extra_duration: float = 0.0,
+    task_name: Optional[str] = None,
+) -> Task:
+    """Kernel-time costing pass: one compute task priced by the roofline model.
+
+    ``scale`` shrinks the node's work to its per-device shard (1/k under
+    partitioned or data-parallel execution); ``extra_duration`` adds fixed
+    overhead such as unfused-fetch launch penalties (Sec 6).
+    """
+    duration = (
+        node_kernel_time(graph, node_name, device_spec, machine, scale=scale)
+        + extra_duration
+    )
+    return Task(
+        name=task_name or node_name,
+        device=device,
+        kind="compute",
+        duration=duration,
+        deps=list(deps),
+    )
+
+
+def make_comm_task(
+    name: str,
+    device: int,
+    comm_bytes: float,
+    *,
+    channel: str = "p2p",
+    deps: Sequence[str] = (),
+) -> Task:
+    """Comm-task emission pass: one transfer on a validated channel."""
+    if channel not in CHANNELS:
+        raise SimulationError(
+            f"comm task {name!r} uses unknown channel {channel!r} "
+            f"(known: {', '.join(CHANNELS)})"
+        )
+    return Task(
+        name=name,
+        device=device,
+        kind="comm",
+        comm_bytes=float(comm_bytes),
+        channel=channel,
+        deps=list(deps),
+    )
+
+
+def device_memory_report(
+    graph: Graph,
+    devices: Sequence[int] = (0,),
+    *,
+    allow_reuse: bool = True,
+) -> Dict[int, int]:
+    """Memory-planning pass: planned peak bytes, replicated per device.
+
+    Used by execution styles where every listed device holds the same graph
+    (single-device execution, data parallelism, the per-worker shard graph of
+    partitioned execution).
+    """
+    peak = plan_memory(graph, allow_reuse=allow_reuse).peak_bytes
+    return {device: peak for device in devices}
+
+
+def memory_plan_of(graph: Graph, *, allow_reuse: bool = True) -> MemoryPlan:
+    """The full memory plan (buffer assignment included) for one device."""
+    return plan_memory(graph, allow_reuse=allow_reuse)

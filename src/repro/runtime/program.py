@@ -1,0 +1,70 @@
+"""The :class:`LoweredProgram` — output of the lowering pipeline.
+
+A lowered program is everything the simulator needs to execute one training
+iteration of a graph under a particular execution style: device-assigned
+compute/communication tasks, the per-device memory report, and bookkeeping
+(aggregate communication volume, backend-specific statistics).  It is the
+common currency between execution backends (:mod:`repro.runtime.backends`)
+and the :class:`repro.runtime.Executor` facade, mirroring how
+:class:`repro.partition.plan.PartitionPlan` is the currency between search
+backends and the :class:`repro.planner.Planner`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.sim.device import MachineSpec
+from repro.sim.engine import Task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
+    from repro.partition.apply import PartitionedGraph
+    from repro.partition.plan import PartitionPlan
+
+
+@dataclass
+class LoweredProgram:
+    """Device-assigned tasks plus the memory report for one execution style.
+
+    Attributes:
+        backend: Name of the execution backend that produced the program.
+        num_devices: Devices the program occupies.
+        tasks: Simulator task graph (compute tasks and comm tasks).
+        per_device_memory: Planned peak bytes per device index (the memory
+            report the simulator checks against device capacity).
+        total_comm_bytes: Aggregate communication volume of one iteration.
+        check_memory: Whether the simulator should verdict OOM from
+            ``per_device_memory`` (the Ideal baseline ignores memory).
+        stats: Backend-specific scalars (e.g. swapped bytes for ``swap``).
+        plan: The partition plan the program was lowered from, if any.
+        partitioned: The full :class:`PartitionedGraph` detail when the
+            program came from the ``tofu-partitioned`` backend.
+        machine: The machine model the program was priced for; kernel
+            durations and the memory report are only meaningful on it, so
+            ``Executor.simulate`` defaults to it.
+    """
+
+    backend: str
+    num_devices: int
+    tasks: Dict[str, Task]
+    per_device_memory: Dict[int, int]
+    total_comm_bytes: float = 0.0
+    check_memory: bool = True
+    stats: Dict[str, float] = field(default_factory=dict)
+    plan: Optional["PartitionPlan"] = None
+    partitioned: Optional["PartitionedGraph"] = None
+    machine: Optional[MachineSpec] = None
+
+    @property
+    def per_device_peak_bytes(self) -> int:
+        return max(self.per_device_memory.values(), default=0)
+
+    def summary(self) -> str:
+        gib = 1 << 30
+        return (
+            f"LoweredProgram(backend={self.backend!r}, "
+            f"devices={self.num_devices}, tasks={len(self.tasks)}, "
+            f"comm={self.total_comm_bytes / gib:.2f} GiB/iter, "
+            f"per-device mem={self.per_device_peak_bytes / gib:.2f} GiB)"
+        )

@@ -21,6 +21,10 @@ from repro.sim.device import MachineSpec
 
 HOST_DEVICE = -1
 
+#: Communication channels the simulator models: the destination device's
+#: PCI-e peer-to-peer link, or the machine-wide shared CPU link.
+CHANNELS = ("p2p", "cpu")
+
 
 @dataclass
 class Task:
@@ -118,6 +122,11 @@ class TaskGraphSimulator:
                     compute_busy.get(task.device, 0.0) + task.duration
                 )
             elif task.kind == "comm":
+                if task.channel not in CHANNELS:
+                    raise SimulationError(
+                        f"task {name!r} uses unknown channel {task.channel!r} "
+                        f"(known: {', '.join(CHANNELS)})"
+                    )
                 if task.channel == "cpu":
                     bandwidth = self.machine.cpu_bandwidth
                     start = max(ready, cpu_link_available)

@@ -7,11 +7,21 @@ dropped instead of copied back, and liveness analysis that releases dead
 blocks immediately.  All eight GPUs share the machine's aggregate CPU link, so
 the per-GPU effective bandwidth shrinks when all of them swap at once — which
 is exactly why swapping loses to Tofu for large models.
+
+The module is split into two stages so the runtime subsystem can reuse it:
+
+* :func:`swap_residency_schedule` runs the LRU/prefetch residency state
+  machine and records, per executed operator, how many bytes move over the
+  host link (a lowering pass — no timing involved);
+* :func:`simulate_with_swapping` prices that schedule with the kernel cost
+  model and returns a :class:`SwapResult`.  The ``swap`` execution backend
+  (:mod:`repro.runtime.backends`) instead lowers the same schedule to
+  simulator tasks on the shared ``"cpu"`` channel.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.graph.graph import Graph
@@ -37,26 +47,54 @@ class SwapResult:
         return batch_size / self.iteration_time
 
 
-def simulate_with_swapping(
+@dataclass
+class SwapStep:
+    """One executed operator and its host-link traffic (bytes, not seconds)."""
+
+    node: str
+    moved_in_bytes: float
+    moved_out_bytes: float
+
+
+@dataclass
+class SwapSchedule:
+    """Steady-state swap schedule of one iteration (a lowering artefact).
+
+    ``steps`` covers the operators that actually executed — all of them in the
+    normal case, a prefix when the working set of some operator exceeds device
+    memory (``oom``).  ``peak_resident_bytes`` is the largest resident set the
+    LRU kept on the device; ``oom_required_bytes`` is the working set that did
+    not fit when ``oom`` is set.
+    """
+
+    steps: List[SwapStep] = field(default_factory=list)
+    oom: bool = False
+    peak_resident_bytes: int = 0
+    oom_required_bytes: int = 0
+
+    @property
+    def swapped_in_bytes(self) -> float:
+        return sum(step.moved_in_bytes for step in self.steps)
+
+    @property
+    def swapped_out_bytes(self) -> float:
+        return sum(step.moved_out_bytes for step in self.steps)
+
+
+def swap_residency_schedule(
     graph: Graph,
     machine: MachineSpec,
     *,
     device_index: int = 0,
-    concurrent_gpus: Optional[int] = None,
-    prefetch: bool = True,
     warm_iterations: int = 1,
-) -> SwapResult:
-    """Simulate one steady-state training iteration with swapping.
+) -> SwapSchedule:
+    """Run the LRU residency state machine and record per-node transfers.
 
-    ``concurrent_gpus`` is how many GPUs share the host link (all of them for
-    the data-parallel swapping baseline); ``warm_iterations`` runs the
-    schedule that many extra times first so that the reported iteration starts
-    from the steady-state resident set.
+    ``warm_iterations`` extra iterations run first so the recorded iteration
+    starts from the steady-state resident set (weights already on the device,
+    transients from the previous iteration evicted or dead).
     """
     device = machine.device(device_index)
-    if concurrent_gpus is None:
-        concurrent_gpus = machine.num_devices
-    cpu_bandwidth = machine.cpu_bandwidth / max(1, concurrent_gpus)
     capacity = device.memory_bytes
 
     schedule = topo_schedule(graph)
@@ -101,15 +139,13 @@ def simulate_with_swapping(
     last_touch: Dict[str, int] = {}
     clock = 0
     resident_bytes = 0
+    peak_resident = 0
 
-    result: Optional[SwapResult] = None
+    result: Optional[SwapSchedule] = None
     for iteration in range(warm_iterations + 1):
-        compute_time = 0.0
-        transfer_time = 0.0
-        iteration_time = 0.0
-        swapped_in = 0.0
-        swapped_out = 0.0
+        steps: List[SwapStep] = []
         oom = False
+        oom_required = 0
 
         for step, node_name in enumerate(schedule):
             node = graph.node(node_name)
@@ -119,6 +155,7 @@ def simulate_with_swapping(
             working_set = sum(sizes[t] for t in needed)
             if working_set > capacity:
                 oom = True
+                oom_required = working_set
                 break
 
             moved_in = 0.0
@@ -143,6 +180,7 @@ def simulate_with_swapping(
                         dirty.discard(victim)
                 if resident_bytes + size > capacity:
                     oom = True
+                    oom_required = resident_bytes + size
                     break
                 # Outputs are allocated, not fetched; inputs produced earlier
                 # (or previously evicted weights) must be swapped back in.
@@ -154,22 +192,14 @@ def simulate_with_swapping(
                     moved_in += size
                 resident[tensor] = size
                 resident_bytes += size
+                peak_resident = max(peak_resident, resident_bytes)
                 last_touch[tensor] = clock
             if oom:
                 break
             for out in node.outputs:
                 dirty.add(root_of(out))
 
-            node_compute = node_kernel_time(graph, node_name, device, machine)
-            node_transfer = (moved_in + moved_out) / cpu_bandwidth
-            compute_time += node_compute
-            transfer_time += node_transfer
-            swapped_in += moved_in
-            swapped_out += moved_out
-            if prefetch:
-                iteration_time += max(node_compute, node_transfer)
-            else:
-                iteration_time += node_compute + node_transfer
+            steps.append(SwapStep(node_name, moved_in, moved_out))
 
             # Drop transient tensors that are now dead (liveness analysis).
             for tensor in needed:
@@ -179,15 +209,65 @@ def simulate_with_swapping(
                     resident_bytes -= resident.pop(tensor)
                     dirty.discard(tensor)
 
-        result = SwapResult(
-            iteration_time=iteration_time,
-            compute_time=compute_time,
-            transfer_time=transfer_time,
-            swapped_in_bytes=swapped_in,
-            swapped_out_bytes=swapped_out,
+        result = SwapSchedule(
+            steps=steps,
             oom=oom,
+            peak_resident_bytes=peak_resident,
+            oom_required_bytes=oom_required,
         )
         if oom:
             break
     assert result is not None
     return result
+
+
+def simulate_with_swapping(
+    graph: Graph,
+    machine: MachineSpec,
+    *,
+    device_index: int = 0,
+    concurrent_gpus: Optional[int] = None,
+    prefetch: bool = True,
+    warm_iterations: int = 1,
+) -> SwapResult:
+    """Simulate one steady-state training iteration with swapping.
+
+    ``concurrent_gpus`` is how many GPUs share the host link (all of them for
+    the data-parallel swapping baseline); ``warm_iterations`` runs the
+    schedule that many extra times first so that the reported iteration starts
+    from the steady-state resident set.
+    """
+    device = machine.device(device_index)
+    if concurrent_gpus is None:
+        concurrent_gpus = machine.num_devices
+    cpu_bandwidth = machine.cpu_bandwidth / max(1, concurrent_gpus)
+
+    schedule = swap_residency_schedule(
+        graph, machine, device_index=device_index, warm_iterations=warm_iterations
+    )
+
+    compute_time = 0.0
+    transfer_time = 0.0
+    iteration_time = 0.0
+    swapped_in = 0.0
+    swapped_out = 0.0
+    for step in schedule.steps:
+        node_compute = node_kernel_time(graph, step.node, device, machine)
+        node_transfer = (step.moved_in_bytes + step.moved_out_bytes) / cpu_bandwidth
+        compute_time += node_compute
+        transfer_time += node_transfer
+        swapped_in += step.moved_in_bytes
+        swapped_out += step.moved_out_bytes
+        if prefetch:
+            iteration_time += max(node_compute, node_transfer)
+        else:
+            iteration_time += node_compute + node_transfer
+
+    return SwapResult(
+        iteration_time=iteration_time,
+        compute_time=compute_time,
+        transfer_time=transfer_time,
+        swapped_in_bytes=swapped_in,
+        swapped_out_bytes=swapped_out,
+        oom=schedule.oom,
+    )

@@ -1,16 +1,13 @@
-"""Builders turning dataflow graphs into simulator task graphs.
+"""Legacy task-graph builders — thin shims over the runtime subsystem.
 
-Three execution styles are covered:
-
-* single-device execution (used by the Ideal and SmallBatch baselines),
-* placement execution, where whole operators are assigned to devices and
-  activations crossing devices are copied (the Operator-Placement baseline),
-* data-parallel execution, where every device runs the full graph on its
-  shard of the batch and gradients are all-reduced (used for reference and by
-  the swapping baseline's multi-GPU accounting).
-
-Tofu's own partitioned execution is built by
-:func:`repro.partition.apply.generate_partitioned_graph`.
+The three execution styles these functions cover (single-device, operator
+placement, data parallelism) are now lowered by the execution backends of
+:mod:`repro.runtime.backends` through the shared lowering passes of
+:mod:`repro.runtime.passes`; the original tuple-returning signatures are kept
+here for existing callers.  Tofu's own partitioned execution is the
+``tofu-partitioned`` backend (built on
+:func:`repro.partition.apply.generate_partitioned_graph`), and new code
+should go through :class:`repro.runtime.Executor` directly.
 """
 
 from __future__ import annotations
@@ -18,10 +15,18 @@ from __future__ import annotations
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.graph.graph import Graph
-from repro.graph.memory_planner import plan_memory
-from repro.sim.costmodel import node_kernel_time
 from repro.sim.device import MachineSpec
 from repro.sim.engine import Task
+
+# The runtime package's lowering passes price tasks with this module's sibling
+# cost model, and ``repro.sim.__init__`` re-exports these builders, so the
+# backend imports below must be deferred to call time to avoid a cycle.
+
+
+def _backends():
+    from repro.runtime import backends
+
+    return backends
 
 
 def single_device_tasks(
@@ -31,27 +36,14 @@ def single_device_tasks(
     device: int = 0,
 ) -> Dict[str, Task]:
     """One compute task per node, all on the same device."""
-    device_spec = machine.device(device)
-    tasks: Dict[str, Task] = {}
-    for node in graph.topo_order():
-        deps = []
-        for tensor in node.inputs:
-            producer = graph.tensor(tensor).producer
-            if producer is not None:
-                deps.append(producer)
-        tasks[node.name] = Task(
-            name=node.name,
-            device=device,
-            kind="compute",
-            duration=node_kernel_time(graph, node.name, device_spec, machine),
-            deps=deps,
-        )
-    return tasks
+    return _backends().lower_single_device(graph, machine, device=device).tasks
 
 
 def single_device_memory(graph: Graph, *, device: int = 0) -> Dict[int, int]:
     """Peak planned memory of running the whole graph on one device."""
-    return {device: plan_memory(graph).peak_bytes}
+    from repro.runtime.passes import device_memory_report
+
+    return device_memory_report(graph, [device])
 
 
 def placement_tasks(
@@ -64,39 +56,8 @@ def placement_tasks(
 
     Returns the task graph and the per-device peak-memory estimate.
     """
-    tasks: Dict[str, Task] = {}
-    for node in graph.topo_order():
-        device = device_of_node.get(node.name, 0)
-        device_spec = machine.device(device)
-        deps = []
-        for tensor in node.inputs:
-            producer = graph.tensor(tensor).producer
-            if producer is None:
-                continue
-            producer_device = device_of_node.get(producer, 0)
-            if producer_device == device:
-                deps.append(producer)
-            else:
-                copy_name = f"{tensor}@copy_to{device}"
-                if copy_name not in tasks:
-                    tasks[copy_name] = Task(
-                        name=copy_name,
-                        device=device,
-                        kind="comm",
-                        comm_bytes=float(graph.tensor(tensor).size_bytes()),
-                        channel="p2p",
-                        deps=[producer],
-                    )
-                deps.append(copy_name)
-        tasks[node.name] = Task(
-            name=node.name,
-            device=device,
-            kind="compute",
-            duration=node_kernel_time(graph, node.name, device_spec, machine),
-            deps=deps,
-        )
-    memory = placement_memory(graph, device_of_node, machine.num_devices)
-    return tasks, memory
+    program = _backends().lower_placement(graph, machine, device_of_node=device_of_node)
+    return program.tasks, program.per_device_memory
 
 
 def placement_memory(
@@ -104,28 +65,8 @@ def placement_memory(
     device_of_node: Mapping[str, int],
     num_devices: int,
 ) -> Dict[int, int]:
-    """Per-device memory under operator placement.
-
-    Buffers are charged to the device of the producing node (graph inputs are
-    charged to the device of their first consumer); transient buffers reuse
-    the global memory plan so the estimate stays consistent with the
-    single-device accounting.
-    """
-    plan = plan_memory(graph)
-    device_of_buffer: Dict[int, int] = {}
-    per_device: Dict[int, int] = {d: 0 for d in range(num_devices)}
-    for tensor_name, buffer_id in plan.buffer_of.items():
-        spec = graph.tensor(tensor_name)
-        if spec.producer is not None:
-            device = device_of_node.get(spec.producer, 0)
-        else:
-            consumers = graph.consumers_of(tensor_name)
-            device = device_of_node.get(consumers[0].name, 0) if consumers else 0
-        if buffer_id in device_of_buffer:
-            continue
-        device_of_buffer[buffer_id] = device
-        per_device[device] = per_device.get(device, 0) + plan.buffer_sizes[buffer_id]
-    return per_device
+    """Per-device memory under operator placement."""
+    return _backends().placement_memory_report(graph, device_of_node, num_devices)
 
 
 def data_parallel_tasks(
@@ -136,38 +77,5 @@ def data_parallel_tasks(
 ) -> Tuple[Dict[str, Task], Dict[int, int]]:
     """Data-parallel execution: every device runs the full graph on 1/k of the
     batch and gradients are all-reduced over PCI-e."""
-    num = machine.num_devices
-    if weight_bytes is None:
-        weight_bytes = float(graph.weight_bytes())
-    tasks: Dict[str, Task] = {}
-    scale = 1.0 / num
-    for device in range(num):
-        device_spec = machine.device(device)
-        for node in graph.topo_order():
-            deps = []
-            for tensor in node.inputs:
-                producer = graph.tensor(tensor).producer
-                if producer is not None:
-                    deps.append(f"{producer}@{device}")
-            tasks[f"{node.name}@{device}"] = Task(
-                name=f"{node.name}@{device}",
-                device=device,
-                kind="compute",
-                duration=node_kernel_time(
-                    graph, node.name, device_spec, machine, scale=scale
-                ),
-                deps=deps,
-            )
-        # Ring all-reduce of the gradients: 2 * (k-1)/k of the weight bytes
-        # traverse each device's link.
-        last_node = list(graph.nodes)[-1]
-        tasks[f"allreduce@{device}"] = Task(
-            name=f"allreduce@{device}",
-            device=device,
-            kind="comm",
-            comm_bytes=2.0 * (num - 1) / num * weight_bytes,
-            channel="p2p",
-            deps=[f"{last_node}@{device}"],
-        )
-    memory = {d: plan_memory(graph).peak_bytes for d in range(num)}
-    return tasks, memory
+    program = _backends().lower_data_parallel(graph, machine, weight_bytes=weight_bytes)
+    return program.tasks, program.per_device_memory
