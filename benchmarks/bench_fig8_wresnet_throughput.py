@@ -6,7 +6,6 @@ SmallBatch fits only the smallest models and otherwise OOMs, Swap is 20%-63%
 slower than Tofu, and Tofu reaches 60%-95% of Ideal.
 """
 
-from functools import partial
 
 from common import grid, once, print_throughput_table
 from repro.baselines.evaluation import (

@@ -10,7 +10,6 @@ backend through the :class:`repro.planner.Planner` to report per-backend
 search time on a common model.
 """
 
-import pytest
 
 from common import FULL, once, print_header
 from repro.models.mlp import build_mlp

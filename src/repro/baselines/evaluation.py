@@ -7,19 +7,20 @@ Tofu use the largest batch that fits (Sec 7.1, "Baseline and Alternatives").
 
 Execution goes through the :class:`repro.runtime.Executor` facade: each
 system maps onto one registered execution backend (``single-device``,
-``swap``, ``placement``, ``tofu-partitioned``), so the evaluators only decide
-batch sizes and read the simulated verdicts.
+``swap``, ``placement``, ``tofu-partitioned``, ``pipeline``, ``hybrid``), so
+the evaluators only decide batch sizes and read the simulated verdicts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Optional
 
 from repro.graph.memory_planner import plan_memory
 from repro.models.layers import ModelBundle
 from repro.partition.plan import PartitionPlan
-from repro.runtime import Executor
+from repro.runtime import Executor, SimulationReport
+from repro.runtime.passes import full_layer_assignment
 from repro.sim.device import MachineSpec, k80_8gpu_machine
 
 BuildFn = Callable[[int], ModelBundle]
@@ -68,26 +69,15 @@ def _estimate_max_batch(
 
 def round_robin_placement(bundle: ModelBundle, num_devices: int) -> Dict[str, int]:
     """Round-robin layers across devices; backward/optimiser nodes follow
-    their forward layer (the Operator-Placement policy of Sec 7.1)."""
-    graph = bundle.graph
-    layer_of_node = dict(bundle.layer_of_node)
-    bwd_nodes_of = graph.metadata.get("bwd_nodes_of", {})
-    for fwd, bwds in bwd_nodes_of.items():
-        layer = layer_of_node.get(fwd, 0)
-        for bwd in bwds:
-            layer_of_node.setdefault(bwd, layer)
-    optimizer_nodes_of = graph.metadata.get("optimizer_nodes_of", {})
-    for weight, nodes in optimizer_nodes_of.items():
-        consumers = graph.consumers_of(weight)
-        layer = 0
-        for consumer in consumers:
-            if consumer.name in layer_of_node:
-                layer = layer_of_node[consumer.name]
-                break
-        for node in nodes:
-            layer_of_node.setdefault(node, layer)
+    their forward layer (the Operator-Placement policy of Sec 7.1).
+
+    The layer propagation is the runtime's stage-assignment pass
+    (:func:`repro.runtime.passes.full_layer_assignment`), shared with the
+    pipeline backend."""
+    layer_of_node = full_layer_assignment(bundle.graph)
     return {
-        node: layer_of_node.get(node, 0) % num_devices for node in graph.nodes
+        node: layer_of_node.get(node, 0) % num_devices
+        for node in bundle.graph.nodes
     }
 
 
@@ -331,10 +321,12 @@ def evaluate_tofu(
     num = machine.num_devices
     capacity = machine.device(0).memory_bytes
     if plan_fn is None:
-        planner = planner or Planner()
-        plan_fn = lambda bundle, workers: planner.plan(
-            bundle.graph, workers, machine=machine, backend=backend
-        )
+        shared_planner = planner or Planner()
+
+        def plan_fn(bundle: ModelBundle, workers: int) -> PartitionPlan:
+            return shared_planner.plan(
+                bundle.graph, workers, machine=machine, backend=backend
+            )
     lowering_options = {
         "fuse_remote_fetch": fuse_remote_fetch,
         "add_control_dependencies": add_control_dependencies,
@@ -399,10 +391,194 @@ def evaluate_tofu(
     )
 
 
+# ---------------------------------------------------------------------------
+# Pipeline parallelism
+# ---------------------------------------------------------------------------
+def evaluate_pipeline(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    num_stages: Optional[int] = None,
+    num_microbatches: int = 4,
+    schedule: str = "1f1b",
+    system_name: str = "pipeline",
+) -> SystemResult:
+    """GPipe/1F1B micro-batch pipelining, one stage per device.
+
+    The whole global batch flows through the pipeline in micro-batches; the
+    largest batch whose bottleneck stage fits device memory wins, exactly like
+    the other alternatives' batch search.
+    """
+    machine = machine or k80_8gpu_machine()
+    executor = Executor()
+    capacity = machine.device(0).memory_bytes
+    options = {
+        "num_stages": num_stages,
+        "num_microbatches": num_microbatches,
+        "schedule": schedule,
+    }
+
+    def lower(bundle: ModelBundle):
+        return executor.lower(
+            bundle.graph,
+            machine=machine,
+            backend="pipeline",
+            backend_options=options,
+        )
+
+    probe_batch = min(global_batch, max(machine.num_devices, 8))
+    probe = build_fn(probe_batch)
+    probe_program = lower(probe)
+    stages = probe_program.num_stages
+    persistent = 3.0 * probe.weight_bytes() / stages
+    activation = probe_program.per_device_peak_bytes - persistent
+    if activation > 0:
+        batch = min(
+            global_batch,
+            max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
+        )
+    else:
+        # The persistent estimate swallowed the probe's peak: memory barely
+        # scales with batch, so try the full batch and let the halving loop
+        # handle an over-estimate.
+        batch = global_batch
+
+    last_bundle: Optional[ModelBundle] = None
+    while batch >= 1:
+        bundle = build_fn(batch)
+        last_bundle = bundle
+        program = lower(bundle)
+        if program.per_device_peak_bytes <= capacity:
+            result = executor.simulate(program, machine)
+            report = SimulationReport(
+                plan=None, partitioned=None, result=result, program=program
+            )
+            return SystemResult(
+                system=system_name,
+                model=bundle.name,
+                batch_size=batch,
+                iteration_time=result.iteration_time,
+                throughput=batch / result.iteration_time,
+                oom=result.oom,
+                comm_fraction=result.comm_fraction(),
+                per_device_memory_gib=program.per_device_peak_bytes / GiB,
+                extras={
+                    "num_stages": float(program.num_stages),
+                    "num_microbatches": float(program.num_microbatches),
+                    "bubble_fraction": report.bubble_fraction(),
+                },
+            )
+        batch //= 2
+    assert last_bundle is not None
+    return SystemResult(
+        system=system_name,
+        model=last_bundle.name,
+        batch_size=0,
+        iteration_time=float("inf"),
+        throughput=0.0,
+        oom=True,
+        notes="bottleneck pipeline stage exceeds GPU memory at any batch size",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hybrid data + model parallelism
+# ---------------------------------------------------------------------------
+def evaluate_hybrid(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    replica_groups: int = 2,
+    inner: str = "tofu-partitioned",
+    planner: Optional["Planner"] = None,
+    backend: str = "tofu",
+    system_name: str = "hybrid",
+) -> SystemResult:
+    """Data-parallel replica groups, each running Tofu partitioning (or any
+    inner execution backend) on its share of the batch."""
+    from repro.planner import Planner
+
+    machine = machine or k80_8gpu_machine()
+    executor = Executor()
+    capacity = machine.device(0).memory_bytes
+    group_devices = machine.num_devices // max(1, replica_groups)
+    sub_machine = replace(
+        machine, devices=list(machine.devices[:group_devices])
+    )
+    needs_plan = inner == "tofu-partitioned"
+    planner = planner or (Planner() if needs_plan else None)
+
+    def lower(bundle: ModelBundle):
+        plan = None
+        if needs_plan:
+            plan = planner.plan(
+                bundle.graph, group_devices, machine=sub_machine, backend=backend
+            )
+        return executor.lower(
+            bundle.graph,
+            plan=plan,
+            machine=machine,
+            backend="hybrid",
+            backend_options={"replica_groups": replica_groups, "inner": inner},
+        )
+
+    probe_batch = min(global_batch, max(machine.num_devices, 8))
+    probe = build_fn(probe_batch)
+    probe_program = lower(probe)
+    persistent = 3.0 * probe.weight_bytes() / group_devices
+    activation = probe_program.per_device_peak_bytes - persistent
+    if activation > 0:
+        batch = min(
+            global_batch,
+            max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
+        )
+    else:
+        # See evaluate_pipeline: the estimate says memory barely scales with
+        # batch, so start from the full batch and halve on over-estimates.
+        batch = global_batch
+
+    last_bundle: Optional[ModelBundle] = None
+    while batch >= 1:
+        bundle = build_fn(batch)
+        last_bundle = bundle
+        program = lower(bundle)
+        if program.per_device_peak_bytes <= capacity:
+            result = executor.simulate(program, machine)
+            return SystemResult(
+                system=system_name,
+                model=bundle.name,
+                batch_size=batch,
+                iteration_time=result.iteration_time,
+                throughput=batch / result.iteration_time,
+                oom=result.oom,
+                comm_fraction=result.comm_fraction(),
+                per_device_memory_gib=program.per_device_peak_bytes / GiB,
+                extras={
+                    "replica_groups": float(replica_groups),
+                    "comm_gib_per_iter": program.total_comm_bytes / GiB,
+                },
+            )
+        batch //= 2
+    assert last_bundle is not None
+    return SystemResult(
+        system=system_name,
+        model=last_bundle.name,
+        batch_size=0,
+        iteration_time=float("inf"),
+        throughput=0.0,
+        oom=True,
+        notes="replica-group shard exceeds GPU memory at any batch size",
+    )
+
+
 EVALUATORS = {
     "ideal": evaluate_ideal,
     "smallbatch": evaluate_smallbatch,
     "swap": evaluate_swapping,
     "op-placement": evaluate_opplacement,
     "tofu": evaluate_tofu,
+    "pipeline": evaluate_pipeline,
+    "hybrid": evaluate_hybrid,
 }

@@ -19,6 +19,10 @@ Examples::
     tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 \\
         --workers 8 --cache-dir ~/.cache/tofu-plans --jobs 4
     tofu-repro simulate --model mlp --executor swap --workers 8
+    tofu-repro simulate --model rnn --executor pipeline --workers 4 \\
+        --stages 4 --microbatches 8 --schedule 1f1b
+    tofu-repro simulate --model rnn --executor hybrid --workers 8 \\
+        --replica-groups 2 --inner tofu-partitioned
     tofu-repro coverage
 """
 
@@ -160,6 +164,31 @@ def cmd_simulate(args) -> int:
     options = {}
     if executor_name == "placement":
         options["device_of_node"] = round_robin_placement(bundle, args.workers)
+    elif executor_name == "pipeline":
+        options = {
+            "num_stages": args.stages,
+            "num_microbatches": args.microbatches,
+            "schedule": args.schedule,
+        }
+    elif executor_name == "hybrid":
+        options = {"replica_groups": args.replica_groups, "inner": args.inner}
+        if args.inner == "pipeline":
+            options["inner_options"] = {
+                "num_stages": args.stages,
+                "num_microbatches": args.microbatches,
+                "schedule": args.schedule,
+            }
+        elif get_execution_backend(args.inner).requires_plan:
+            # The inner backend partitions within one replica group, so the
+            # plan is searched for the group's device count.
+            group_workers = max(1, args.workers // args.replica_groups)
+            print(f"backend: {args.backend} ({group_workers}-worker groups)")
+            plan = _make_planner(args).plan(
+                bundle.graph,
+                group_workers,
+                machine=k80_8gpu_machine(group_workers),
+                backend=args.backend,
+            )
     report = Executor().run(
         bundle.graph,
         plan=plan,
@@ -214,6 +243,35 @@ def main(argv=None) -> int:
         choices=available_execution_backends(),
         default="tofu-partitioned",
         help="execution backend (see the `executors` command)",
+    )
+    p_simulate.add_argument(
+        "--stages",
+        type=int,
+        default=None,
+        help="pipeline stages (default: one per device, capped by layers)",
+    )
+    p_simulate.add_argument(
+        "--microbatches",
+        type=int,
+        default=4,
+        help="micro-batches per iteration for the pipeline executor",
+    )
+    p_simulate.add_argument(
+        "--schedule",
+        choices=["gpipe", "1f1b"],
+        default="1f1b",
+        help="pipeline schedule style",
+    )
+    p_simulate.add_argument(
+        "--replica-groups",
+        type=int,
+        default=2,
+        help="data-parallel replica groups for the hybrid executor",
+    )
+    p_simulate.add_argument(
+        "--inner",
+        default="tofu-partitioned",
+        help="inner execution backend for the hybrid executor",
     )
     p_simulate.set_defaults(func=cmd_simulate)
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import GraphError
 from repro.graph.graph import Graph
 from repro.graph.node import OpNode
 from repro.graph.tensor import TensorSpec

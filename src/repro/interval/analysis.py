@@ -10,19 +10,17 @@ graph-level cost model consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List
 
 from repro.errors import NonAffineError, TDLError
 from repro.interval.symbolic import Interval
 from repro.tdl.expr import (
     BinaryOp,
-    Call,
     Const,
     Expr,
     FullSlice,
     IndexVar,
     OpaqueCall,
-    Reduce,
     TensorAccess,
     walk,
 )

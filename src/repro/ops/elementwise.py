@@ -10,7 +10,7 @@ Gradient builders return a mapping ``input position -> gradient tensor name``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict
 
 from repro.tdl.lang import elementwise as tdl_elementwise
 from repro.ops.registry import register_op, same_shape

@@ -17,7 +17,7 @@ reduce tasks.  The three optimisations of Sec 6 are modelled explicitly:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.graph.graph import Graph

@@ -20,10 +20,9 @@ topological position of their earliest member.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 
-from repro.errors import PartitionError
 from repro.graph.graph import Graph
 
 

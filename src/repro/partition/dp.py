@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 import time
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PartitionError
 from repro.graph.graph import Graph

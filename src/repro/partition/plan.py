@@ -9,7 +9,7 @@ a grid partition and each operator a per-step partition-n-reduce strategy.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import PartitionError
 from repro.graph.tensor import split_dim

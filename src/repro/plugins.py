@@ -158,8 +158,7 @@ def load_entry_points(
             spec = _resolve_spec(entry_point.name, loaded, make_spec, spec_type)
         except Exception as exc:  # third-party code: degrade, don't crash
             warnings.warn(
-                f"ignoring broken {group!r} entry point "
-                f"{entry_point.name!r}: {exc}",
+                _broken_entry_point_message(group, entry_point, exc),
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -170,6 +169,31 @@ def load_entry_points(
         registry[name] = spec
         added.append(name)
     return added
+
+
+def _broken_entry_point_message(group: str, entry_point, exc: Exception) -> str:
+    """Diagnostic for a third-party backend that failed to load.
+
+    Names the backend, the distribution that advertised it and the entry
+    point's target, so the operator knows *which package* to fix or
+    uninstall instead of staring at a bare traceback.
+    """
+    dist = getattr(entry_point, "dist", None)
+    dist_name = getattr(dist, "name", None)
+    version = getattr(dist, "version", None)
+    if dist_name and version:
+        origin = f"distribution {dist_name!r} ({dist_name}=={version})"
+    elif dist_name:
+        origin = f"distribution {dist_name!r}"
+    else:
+        origin = "an unknown distribution"
+    target = getattr(entry_point, "value", None)
+    target_part = f" = {target!r}" if target else ""
+    return (
+        f"ignoring broken {group!r} entry point {entry_point.name!r}"
+        f"{target_part} from {origin}: "
+        f"{type(exc).__name__}: {exc}"
+    )
 
 
 def _resolve_spec(name: str, loaded, make_spec, spec_type):

@@ -15,7 +15,11 @@ registered execution style without hand-wiring imports:
 * ``data-parallel`` — every device runs the full graph on its batch shard and
   gradients are ring-all-reduced;
 * ``swap`` — single-GPU execution with LRU swapping over the shared CPU link
-  (the swapping baseline of Sec 7.1).
+  (the swapping baseline of Sec 7.1);
+* ``pipeline`` — GPipe/1F1B micro-batch pipelining over contiguous layer
+  stages (the pipeline-parallel alternative of the paper's related work);
+* ``hybrid`` — data-parallel replica groups, each running an inner
+  model-parallel backend (the hybrid strategy RaNNC-style systems compose).
 
 Third-party backends can also be registered through the
 ``repro.runtime_backends`` ``importlib.metadata`` entry-point group; see
@@ -24,23 +28,27 @@ Third-party backends can also be registered through the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.graph.graph import Graph
 from repro.plugins import BackendRegistry, keyword_option_names
 from repro.runtime.passes import (
+    assign_pipeline_stages,
     device_memory_report,
+    full_layer_assignment,
     make_comm_task,
     make_compute_task,
     memory_plan_of,
+    pipeline_schedule,
     producer_deps,
     scheduled_nodes,
+    stage_memory_report,
 )
 from repro.runtime.program import LoweredProgram
 from repro.sim.device import MachineSpec
-from repro.sim.engine import Task
+from repro.sim.engine import HOST_DEVICE, Task
 from repro.sim.swap import swap_residency_schedule
 
 
@@ -406,6 +414,296 @@ def lower_tofu_partitioned(
     )
 
 
+def lower_pipeline(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    num_stages: Optional[int] = None,
+    num_microbatches: int = 4,
+    schedule: str = "1f1b",
+    check_memory: bool = True,
+) -> LoweredProgram:
+    """Pipeline-parallel execution: contiguous layer stages, micro-batched.
+
+    The graph's layers are grouped into ``num_stages`` contiguous stages
+    (balanced over the kernel-cost pass, one stage per device) and each
+    iteration is split into ``num_microbatches`` micro-batches whose compute
+    shrinks to ``1/M`` of the full-batch kernels.  Activations and gradients
+    crossing a stage boundary travel as PCI-e peer-to-peer transfers, and the
+    chosen ``schedule`` (``"gpipe"`` or ``"1f1b"``) is emitted as
+    stage-ordering control dependencies, so the simulator replays exactly
+    that slot order and its idle time is the pipeline bubble.
+
+    With one stage and one micro-batch this degenerates to single-device
+    execution (the parity the tests pin down).
+    """
+    if num_microbatches < 1:
+        raise ExecutionError("pipeline needs at least one micro-batch")
+    layer_of = full_layer_assignment(graph)
+    num_layers = len(set(layer_of.values()))
+    if num_stages is None:
+        num_stages = max(1, min(machine.num_devices, num_layers))
+    if not 1 <= num_stages <= machine.num_devices:
+        raise ExecutionError(
+            f"pipeline wants {num_stages} stages on a machine with "
+            f"{machine.num_devices} devices"
+        )
+    stages = assign_pipeline_stages(graph, machine, num_stages, layer_of=layer_of)
+    sched = pipeline_schedule(num_stages, num_microbatches, style=schedule)
+
+    topo = scheduled_nodes(graph)
+    forward = graph.metadata.get("forward_nodes")
+    fwd_set = set(forward) if forward is not None else {n.name for n in topo}
+    optimizer_set = {
+        node
+        for nodes in graph.metadata.get("optimizer_nodes_of", {}).values()
+        for node in nodes
+    }
+    fwd_of_stage: List[List] = [[] for _ in range(num_stages)]
+    bwd_of_stage: List[List] = [[] for _ in range(num_stages)]
+    opt_of_stage: List[List] = [[] for _ in range(num_stages)]
+    for node in topo:
+        stage = stages.stage_of_node[node.name]
+        if node.name in optimizer_set:
+            opt_of_stage[stage].append(node)
+        elif node.name in fwd_set:
+            fwd_of_stage[stage].append(node)
+        else:
+            bwd_of_stage[stage].append(node)
+
+    scale = 1.0 / num_microbatches
+    tasks: Dict[str, Task] = {}
+    comm_total = [0.0]
+
+    def task_ref(producer: str, microbatch: int) -> str:
+        if producer in optimizer_set:
+            return producer
+        return f"{producer}#mb{microbatch}"
+
+    def dep_for_input(tensor: str, stage: int, microbatch: int) -> Optional[str]:
+        producer = graph.tensor(tensor).producer
+        if producer is None:
+            return None
+        ref = task_ref(producer, microbatch)
+        if stages.stage_of_node[producer] == stage:
+            return ref
+        # Cross-stage tensors are per-micro-batch activations/gradients; the
+        # copy is shared by every consumer of (tensor, stage, micro-batch),
+        # so a backward task reuses the activation its forward copy stashed.
+        copy_name = f"{tensor}@s{stage}#mb{microbatch}"
+        if copy_name not in tasks:
+            copy_bytes = float(graph.tensor(tensor).size_bytes()) * scale
+            tasks[copy_name] = make_comm_task(
+                copy_name, stage, copy_bytes, channel="p2p", deps=[ref]
+            )
+            comm_total[0] += copy_bytes
+        return copy_name
+
+    prev_of_stage: List[Optional[str]] = [None] * num_stages
+
+    def emit_compute(node, stage: int, microbatch: int, node_scale: float) -> None:
+        name = task_ref(node.name, microbatch)
+        deps: List[str] = []
+        for tensor in node.inputs:
+            if node.name in optimizer_set and microbatch < 0:
+                # Optimiser nodes consume the accumulated gradient: depend on
+                # every micro-batch's producer task.
+                producer = graph.tensor(tensor).producer
+                if producer is None:
+                    continue
+                if producer in optimizer_set:
+                    deps.append(producer)
+                else:
+                    deps.extend(
+                        task_ref(producer, m) for m in range(num_microbatches)
+                    )
+                continue
+            dep = dep_for_input(tensor, stage, microbatch)
+            if dep is not None:
+                deps.append(dep)
+        task = make_compute_task(
+            graph, node.name, stage, machine.device(stage), machine,
+            deps=deps, scale=node_scale, task_name=name,
+        )
+        if prev_of_stage[stage] is not None:
+            task.after = [prev_of_stage[stage]]
+        tasks[name] = task
+        prev_of_stage[stage] = name
+
+    for stage in range(num_stages):
+        for phase, microbatch in sched.slots_of_stage[stage]:
+            group = fwd_of_stage if phase == "fwd" else bwd_of_stage
+            for node in group[stage]:
+                emit_compute(node, stage, microbatch, scale)
+        # Weight update runs once per iteration, after the last backward
+        # micro-batch of the stage (gradient accumulation rides on the
+        # backward kernels' output writes, as the cost model assumes).
+        for node in opt_of_stage[stage]:
+            emit_compute(node, stage, -1, 1.0)
+
+    memory = stage_memory_report(
+        graph,
+        stages.stage_of_node,
+        num_stages,
+        num_microbatches=num_microbatches,
+        schedule=sched,
+    )
+    return LoweredProgram(
+        backend="pipeline",
+        num_devices=num_stages,
+        tasks=tasks,
+        per_device_memory=memory,
+        total_comm_bytes=comm_total[0],
+        check_memory=check_memory,
+        stats={
+            "num_stages": float(num_stages),
+            "num_microbatches": float(num_microbatches),
+            "bottleneck_stage_cost": max(stages.stage_costs),
+            "stage_cost_spread": (
+                max(stages.stage_costs) - min(stages.stage_costs)
+            ),
+        },
+        num_microbatches=num_microbatches,
+        stage_of_node=stages.stage_of_node,
+        schedule=sched,
+    )
+
+
+def lower_hybrid(
+    graph: Graph,
+    machine: MachineSpec,
+    plan=None,
+    *,
+    replica_groups: int = 2,
+    inner: str = "tofu-partitioned",
+    inner_options: Optional[Mapping[str, object]] = None,
+    weight_bytes: Optional[float] = None,
+) -> LoweredProgram:
+    """Hybrid data+model parallelism: replica groups × an inner backend.
+
+    The machine's devices split into ``replica_groups`` equal groups; each
+    group runs the ``inner`` execution backend (Tofu partitioning, pipeline,
+    …) on ``1/G`` of the batch, and the gradients are ring-all-reduced across
+    groups at the end of the iteration (``2 (G-1)/G`` of each device's weight
+    shard traverses its PCI-e link).  Per-group compute and communication are
+    scaled by ``1/G``, assuming batch-proportional kernels; per-device memory
+    keeps the inner report (weights dominate, and activation savings are left
+    as headroom).  With one replica group the inner program is returned
+    unchanged, which is the parity the tests pin down.
+
+    ``plan``, when the inner backend needs one, must be searched for the
+    group's device count (``num_devices / G`` workers), not the whole
+    machine.  Callers should pass ``machine`` explicitly: resolving it from
+    the plan would size it to one group only.
+    """
+    groups = int(replica_groups)
+    if groups < 1:
+        raise ExecutionError("hybrid needs at least one replica group")
+    if inner == "hybrid":
+        raise ExecutionError("hybrid cannot nest itself as the inner backend")
+    if machine.num_devices % groups:
+        raise ExecutionError(
+            f"hybrid needs the device count ({machine.num_devices}) to be "
+            f"divisible by replica_groups ({groups})"
+        )
+    group_devices = machine.num_devices // groups
+    inner_spec = get_execution_backend(inner)
+    options = dict(inner_options or {})
+    inner_spec.validate_options(options)
+    if inner_spec.requires_plan and plan is None:
+        raise ExecutionError(
+            f"hybrid inner backend {inner!r} requires a partition plan "
+            f"searched for {group_devices} workers (one replica group)"
+        )
+    if plan is not None and getattr(plan, "num_workers", group_devices) != group_devices:
+        raise ExecutionError(
+            f"hybrid plan was searched for {plan.num_workers} workers but "
+            f"each replica group has {group_devices} devices"
+        )
+    sub_machine = replace(machine, devices=list(machine.devices[:group_devices]))
+    program = inner_spec.lower(graph, sub_machine, plan, **options)
+    stats = dict(program.stats)
+    stats["replica_groups"] = float(groups)
+
+    if groups == 1:
+        return LoweredProgram(
+            backend="hybrid",
+            num_devices=program.num_devices,
+            tasks=program.tasks,
+            per_device_memory=program.per_device_memory,
+            total_comm_bytes=program.total_comm_bytes,
+            check_memory=program.check_memory,
+            stats=stats,
+            plan=program.plan if program.plan is not None else plan,
+            partitioned=program.partitioned,
+            num_microbatches=program.num_microbatches,
+            stage_of_node=program.stage_of_node,
+            schedule=program.schedule,
+        )
+
+    scale = 1.0 / groups
+    referenced = set()
+    for task in program.tasks.values():
+        referenced.update(task.deps)
+        referenced.update(task.after)
+    sinks = [name for name in program.tasks if name not in referenced]
+
+    tasks: Dict[str, Task] = {}
+    memory: Dict[int, int] = {}
+    total_comm = program.total_comm_bytes  # 1/G per group × G groups
+    if weight_bytes is None:
+        weight_bytes = float(graph.weight_bytes())
+    # Ring all-reduce of each device's weight shard across the G groups.
+    reduce_bytes = 2.0 * (groups - 1) / groups * weight_bytes / group_devices
+    for group in range(groups):
+        offset = group * group_devices
+
+        def shifted(device: int) -> int:
+            return device if device == HOST_DEVICE else device + offset
+
+        for name, task in program.tasks.items():
+            clone = f"{name}@grp{group}"
+            tasks[clone] = Task(
+                name=clone,
+                device=shifted(task.device),
+                kind=task.kind,
+                duration=task.duration * scale,
+                comm_bytes=task.comm_bytes * scale,
+                channel=task.channel,
+                deps=[f"{dep}@grp{group}" for dep in task.deps],
+                after=[f"{dep}@grp{group}" for dep in task.after],
+            )
+        group_sinks = [f"{name}@grp{group}" for name in sinks]
+        for local_device in range(group_devices):
+            reduce_name = f"allreduce@d{local_device}@grp{group}"
+            tasks[reduce_name] = make_comm_task(
+                reduce_name, offset + local_device, reduce_bytes,
+                channel="p2p", deps=group_sinks,
+            )
+            total_comm += reduce_bytes
+        for device, required in program.per_device_memory.items():
+            key = shifted(device)
+            if device == HOST_DEVICE:
+                memory[key] = memory.get(key, 0) + required
+            else:
+                memory[key] = required
+
+    stats["allreduce_bytes"] = reduce_bytes * groups * group_devices
+    return LoweredProgram(
+        backend="hybrid",
+        num_devices=machine.num_devices,
+        tasks=tasks,
+        per_device_memory=memory,
+        total_comm_bytes=total_comm,
+        check_memory=program.check_memory,
+        stats=stats,
+        plan=plan,
+        num_microbatches=program.num_microbatches,
+        schedule=program.schedule,
+    )
+
+
 register_execution_backend(
     ExecutionBackendSpec(
         name="tofu-partitioned",
@@ -448,6 +746,26 @@ register_execution_backend(
         description="single-GPU LRU swapping over the shared CPU link (Sec 7.1)",
         option_names=(
             "device_index", "concurrent_gpus", "prefetch", "warm_iterations",
+        ),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="pipeline",
+        lower=lower_pipeline,
+        description="GPipe/1F1B micro-batch pipeline over contiguous layer stages",
+        option_names=(
+            "num_stages", "num_microbatches", "schedule", "check_memory",
+        ),
+    )
+)
+register_execution_backend(
+    ExecutionBackendSpec(
+        name="hybrid",
+        lower=lower_hybrid,
+        description="data-parallel replica groups x an inner model-parallel backend",
+        option_names=(
+            "replica_groups", "inner", "inner_options", "weight_bytes",
         ),
     )
 )

@@ -58,6 +58,32 @@ class SimulationReport:
     def throughput(self, batch_size: int) -> float:
         return self.result.throughput(batch_size)
 
+    # ------------------------------------------------- pipeline introspection
+    @property
+    def per_stage_peak_memory(self) -> Mapping[int, int]:
+        """Planned peak bytes per pipeline stage (device-keyed memory report
+        of a staged program; empty for unstaged execution)."""
+        if self.program is None or self.program.schedule is None:
+            return {}
+        return self.program.per_device_memory
+
+    @property
+    def bubble_time(self) -> float:
+        """Summed per-stage idle time of a pipelined iteration (seconds)."""
+        if self.program is None or self.program.schedule is None:
+            return 0.0
+        return sum(self.result.per_device_idle_time.values())
+
+    def bubble_fraction(self) -> float:
+        """Fraction of aggregate stage time spent idle (the pipeline bubble)."""
+        if self.program is None or self.program.schedule is None:
+            return 0.0
+        stages = self.program.schedule.num_stages
+        total = stages * self.result.iteration_time
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.bubble_time / total)
+
     def summary(self) -> str:
         lines = []
         if self.plan is not None:
@@ -66,6 +92,13 @@ class SimulationReport:
             lines.append(self.partitioned.summary())
         elif self.program is not None:
             lines.append(self.program.summary())
+        if self.program is not None and self.program.schedule is not None:
+            schedule = self.program.schedule
+            lines.append(
+                f"pipeline: {schedule.num_stages} stages x "
+                f"{schedule.num_microbatches} micro-batches "
+                f"({schedule.style}), bubble {self.bubble_fraction():.1%}"
+            )
         lines.append(
             f"iteration time: {self.result.iteration_time * 1e3:.1f} ms, "
             f"comm fraction: {self.result.comm_fraction():.1%}, "

@@ -15,13 +15,23 @@ did) makes each stage independently testable and reusable:
   roofline cost model (Sec 7.1) and emits its compute task.
 * **Comm-task emission** — :func:`make_comm_task` emits a transfer on a
   validated channel (PCI-e peer-to-peer or the shared CPU link, Sec 7.1).
+* **Stage assignment** — :func:`full_layer_assignment` extends the model
+  builders' forward-layer annotation to backward/optimiser nodes, and
+  :func:`assign_pipeline_stages` groups contiguous layers into pipeline
+  stages balanced by the kernel-cost pass (the critical-path motivation of
+  Mayer et al.'s scheduling study).
+* **Micro-batch scheduling** — :func:`pipeline_schedule` emits the per-stage
+  slot order of a GPipe or 1F1B pipeline, and :func:`stage_memory_report`
+  prices each stage's peak memory under that schedule's in-flight
+  micro-batch count.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import ExecutionError, SimulationError
 from repro.graph.graph import Graph
 from repro.graph.memory_planner import MemoryPlan, plan_memory
 from repro.graph.node import OpNode
@@ -120,3 +130,262 @@ def device_memory_report(
 def memory_plan_of(graph: Graph, *, allow_reuse: bool = True) -> MemoryPlan:
     """The full memory plan (buffer assignment included) for one device."""
     return plan_memory(graph, allow_reuse=allow_reuse)
+
+
+# ---------------------------------------------------------------------------
+# Stage assignment (pipeline-parallel execution)
+# ---------------------------------------------------------------------------
+def full_layer_assignment(graph: Graph) -> Dict[str, int]:
+    """Layer index of *every* node, derived from the builders' metadata.
+
+    Model builders annotate forward nodes with ``layer_of_node``; backward
+    nodes inherit the layer of the forward node that generated them
+    (``bwd_nodes_of``) and optimiser nodes follow the layer of their weight's
+    first consumer (``optimizer_nodes_of``).  Nodes the metadata does not
+    reach default to layer 0.  Graphs without any layer annotation treat
+    each forward node as its own layer, in topological order.
+    """
+    layer_of = dict(graph.metadata.get("layer_of_node", {}))
+    if not layer_of:
+        forward = graph.metadata.get("forward_nodes", list(graph.nodes))
+        layer_of = {name: index for index, name in enumerate(forward)}
+    for fwd, bwds in graph.metadata.get("bwd_nodes_of", {}).items():
+        layer = layer_of.get(fwd, 0)
+        for bwd in bwds:
+            layer_of.setdefault(bwd, layer)
+    for weight, nodes in graph.metadata.get("optimizer_nodes_of", {}).items():
+        layer = 0
+        for consumer in graph.consumers_of(weight):
+            if consumer.name in layer_of:
+                layer = layer_of[consumer.name]
+                break
+        for node in nodes:
+            layer_of.setdefault(node, layer)
+    for node in graph.nodes:
+        layer_of.setdefault(node, 0)
+    return layer_of
+
+
+def balanced_contiguous_partition(
+    costs: Sequence[float], num_groups: int
+) -> List[Tuple[int, int]]:
+    """Split ``costs`` into ``num_groups`` contiguous ``[start, end)`` ranges
+    minimising the maximum group cost (the linear-partition DP).
+
+    This is the stage-balance heuristic: stages must stay contiguous in layer
+    order so activations flow forward only, and the bottleneck stage sets the
+    pipeline's steady-state rate.
+    """
+    n = len(costs)
+    if num_groups <= 0:
+        raise ExecutionError("need at least one group")
+    if num_groups > n:
+        raise ExecutionError(
+            f"cannot split {n} layers into {num_groups} pipeline stages"
+        )
+    prefix = [0.0]
+    for cost in costs:
+        prefix.append(prefix[-1] + cost)
+
+    INF = float("inf")
+    # best[k][i]: minimal bottleneck cost splitting the first i items into k
+    # groups; cut[k][i]: where the last group starts in that optimum.
+    best = [[INF] * (n + 1) for _ in range(num_groups + 1)]
+    cut = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    best[0][0] = 0.0
+    for k in range(1, num_groups + 1):
+        for i in range(k, n + 1):
+            for j in range(k - 1, i):
+                candidate = max(best[k - 1][j], prefix[i] - prefix[j])
+                if candidate < best[k][i]:
+                    best[k][i] = candidate
+                    cut[k][i] = j
+    bounds: List[Tuple[int, int]] = []
+    end = n
+    for k in range(num_groups, 0, -1):
+        start = cut[k][end]
+        bounds.append((start, end))
+        end = start
+    bounds.reverse()
+    return bounds
+
+
+@dataclass(frozen=True)
+class StageAssignment:
+    """Result of the stage-assignment pass: node -> pipeline stage."""
+
+    num_stages: int
+    stage_of_node: Dict[str, int]
+    stage_of_layer: Dict[int, int]
+    stage_costs: List[float]
+
+    def nodes_of_stage(self, graph: Graph, stage: int) -> List[OpNode]:
+        return [
+            node
+            for node in scheduled_nodes(graph)
+            if self.stage_of_node[node.name] == stage
+        ]
+
+
+def assign_pipeline_stages(
+    graph: Graph,
+    machine: MachineSpec,
+    num_stages: int,
+    *,
+    layer_of: Optional[Dict[str, int]] = None,
+) -> StageAssignment:
+    """Group the graph's layers into ``num_stages`` contiguous stages.
+
+    Per-layer cost is the summed roofline kernel time of the layer's forward
+    and backward nodes on the machine's first device; the contiguous split
+    minimises the bottleneck stage.  ``layer_of`` lets callers that already
+    ran :func:`full_layer_assignment` skip the second graph traversal.
+    """
+    if layer_of is None:
+        layer_of = full_layer_assignment(graph)
+    layers = sorted(set(layer_of.values()))
+    if num_stages > len(layers):
+        raise ExecutionError(
+            f"pipeline wants {num_stages} stages but the graph only has "
+            f"{len(layers)} layers"
+        )
+    device_spec = machine.device(0)
+    cost_of_layer = {layer: 0.0 for layer in layers}
+    for node in graph.nodes:
+        cost_of_layer[layer_of[node]] += node_kernel_time(
+            graph, node, device_spec, machine
+        )
+    costs = [cost_of_layer[layer] for layer in layers]
+    bounds = balanced_contiguous_partition(costs, num_stages)
+    stage_of_layer: Dict[int, int] = {}
+    stage_costs: List[float] = []
+    for stage, (start, end) in enumerate(bounds):
+        stage_costs.append(sum(costs[start:end]))
+        for index in range(start, end):
+            stage_of_layer[layers[index]] = stage
+    stage_of_node = {
+        node: stage_of_layer[layer_of[node]] for node in graph.nodes
+    }
+    return StageAssignment(
+        num_stages=num_stages,
+        stage_of_node=stage_of_node,
+        stage_of_layer=stage_of_layer,
+        stage_costs=stage_costs,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Micro-batch scheduling (GPipe / 1F1B)
+# ---------------------------------------------------------------------------
+SCHEDULE_STYLES = ("gpipe", "1f1b")
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Per-stage slot order of a micro-batched pipeline.
+
+    ``slots_of_stage[s]`` is the ordered list of ``(phase, microbatch)``
+    slots stage ``s`` executes, where ``phase`` is ``"fwd"`` or ``"bwd"``.
+    The order is what the lowering turns into stage-ordering control
+    dependencies, so the simulator replays exactly this schedule.
+    """
+
+    num_stages: int
+    num_microbatches: int
+    style: str
+    slots_of_stage: List[List[Tuple[str, int]]] = field(default_factory=list)
+
+    def inflight(self, stage: int) -> int:
+        """Micro-batches whose activations stage ``stage`` stashes at peak."""
+        if self.style == "1f1b":
+            return min(self.num_microbatches, self.num_stages - stage)
+        return self.num_microbatches
+
+
+def pipeline_schedule(
+    num_stages: int, num_microbatches: int, *, style: str = "1f1b"
+) -> PipelineSchedule:
+    """Emit the slot order of a GPipe (all-forward-then-all-backward) or
+    1F1B (one-forward-one-backward, PipeDream-flush style) schedule."""
+    if style not in SCHEDULE_STYLES:
+        raise ExecutionError(
+            f"unknown pipeline schedule {style!r} "
+            f"(known: {', '.join(SCHEDULE_STYLES)})"
+        )
+    slots_of_stage: List[List[Tuple[str, int]]] = []
+    for stage in range(num_stages):
+        slots: List[Tuple[str, int]] = []
+        if style == "gpipe":
+            slots.extend(("fwd", m) for m in range(num_microbatches))
+            slots.extend(("bwd", m) for m in range(num_microbatches))
+        else:
+            warmup = min(num_microbatches, num_stages - 1 - stage)
+            for m in range(warmup):
+                slots.append(("fwd", m))
+            for m in range(warmup, num_microbatches):
+                slots.append(("fwd", m))
+                slots.append(("bwd", m - warmup))
+            for m in range(num_microbatches - warmup, num_microbatches):
+                slots.append(("bwd", m))
+        slots_of_stage.append(slots)
+    return PipelineSchedule(
+        num_stages=num_stages,
+        num_microbatches=num_microbatches,
+        style=style,
+        slots_of_stage=slots_of_stage,
+    )
+
+
+def stage_memory_report(
+    graph: Graph,
+    stage_of_node: Mapping[str, int],
+    num_stages: int,
+    *,
+    num_microbatches: int = 1,
+    schedule: Optional[PipelineSchedule] = None,
+) -> Dict[int, int]:
+    """Per-stage peak bytes under micro-batched pipeline execution.
+
+    Buffers from the global memory plan are charged to the stage of their
+    producing node (graph inputs to their first consumer's stage), exactly
+    like operator placement.  Persistent buffers (weights, optimiser state)
+    are charged once; transient buffers (activations, gradients, data) shrink
+    to one micro-batch (``1/M``) but must be stashed for every in-flight
+    micro-batch of the stage's schedule, so they scale by ``inflight / M``.
+    With one stage and one micro-batch this reduces to the single-device
+    memory plan.
+    """
+    plan = memory_plan_of(graph)
+    # A buffer is persistent if any tensor living in it is (in-place updates
+    # alias gradients onto weight buffers; the weight's lifetime wins).
+    persistent_buffers = {
+        buffer_id
+        for tensor_name, buffer_id in plan.buffer_of.items()
+        if graph.tensor(tensor_name).is_persistent()
+    }
+    seen_buffers: Dict[int, int] = {}
+    persistent = {stage: 0 for stage in range(num_stages)}
+    transient = {stage: 0 for stage in range(num_stages)}
+    for tensor_name, buffer_id in plan.buffer_of.items():
+        if buffer_id in seen_buffers:
+            continue
+        spec = graph.tensor(tensor_name)
+        if spec.producer is not None:
+            stage = stage_of_node.get(spec.producer, 0)
+        else:
+            consumers = graph.consumers_of(tensor_name)
+            stage = (
+                stage_of_node.get(consumers[0].name, 0) if consumers else 0
+            )
+        seen_buffers[buffer_id] = stage
+        size = plan.buffer_sizes[buffer_id]
+        if buffer_id in persistent_buffers:
+            persistent[stage] += size
+        else:
+            transient[stage] += size
+    report: Dict[int, int] = {}
+    for stage in range(num_stages):
+        inflight = schedule.inflight(stage) if schedule is not None else 1
+        scale = inflight / num_microbatches if num_microbatches else 1.0
+        report[stage] = persistent[stage] + int(transient[stage] * scale)
+    return report

@@ -13,7 +13,7 @@ backends and the :class:`repro.planner.Planner`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.sim.device import MachineSpec
 from repro.sim.engine import Task
@@ -21,6 +21,7 @@ from repro.sim.engine import Task
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
     from repro.partition.apply import PartitionedGraph
     from repro.partition.plan import PartitionPlan
+    from repro.runtime.passes import PipelineSchedule
 
 
 @dataclass
@@ -43,6 +44,13 @@ class LoweredProgram:
         machine: The machine model the program was priced for; kernel
             durations and the memory report are only meaningful on it, so
             ``Executor.simulate`` defaults to it.
+        num_microbatches: Micro-batches one iteration is split into (1 for
+            unpipelined execution styles).
+        stage_of_node: Graph node -> pipeline stage, when the program was
+            staged (the per-stage memory report is keyed the same way).
+        schedule: The per-stage slot order the lowering encoded as
+            stage-ordering control dependencies, when the program is
+            micro-batch pipelined.
     """
 
     backend: str
@@ -55,16 +63,33 @@ class LoweredProgram:
     plan: Optional["PartitionPlan"] = None
     partitioned: Optional["PartitionedGraph"] = None
     machine: Optional[MachineSpec] = None
+    num_microbatches: int = 1
+    stage_of_node: Optional[Mapping[str, int]] = None
+    schedule: Optional["PipelineSchedule"] = None
 
     @property
     def per_device_peak_bytes(self) -> int:
         return max(self.per_device_memory.values(), default=0)
 
+    @property
+    def num_stages(self) -> int:
+        """Pipeline stages of the program (1 when it is not staged)."""
+        if self.schedule is not None:
+            return self.schedule.num_stages
+        return 1
+
     def summary(self) -> str:
         gib = 1 << 30
+        pipeline = ""
+        if self.schedule is not None:
+            pipeline = (
+                f", stages={self.schedule.num_stages}"
+                f"x{self.num_microbatches}mb ({self.schedule.style})"
+            )
         return (
             f"LoweredProgram(backend={self.backend!r}, "
             f"devices={self.num_devices}, tasks={len(self.tasks)}, "
             f"comm={self.total_comm_bytes / gib:.2f} GiB/iter, "
-            f"per-device mem={self.per_device_peak_bytes / gib:.2f} GiB)"
+            f"per-device mem={self.per_device_peak_bytes / gib:.2f} GiB"
+            f"{pipeline})"
         )

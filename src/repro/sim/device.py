@@ -9,7 +9,7 @@ configurations can be built for sensitivity studies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 GiB = 1 << 30

@@ -32,6 +32,12 @@ class Task:
 
     ``kind`` is ``"compute"`` (duration given directly) or ``"comm"``
     (duration derived from ``comm_bytes`` and the channel bandwidth).
+
+    ``deps`` are data dependencies (the task reads what they produced);
+    ``after`` are stage-ordering control dependencies — pure scheduling
+    edges that pin a task behind another one without any data flowing,
+    which is how the pipeline backend encodes its GPipe/1F1B per-stage
+    execution order.  The simulator honours both identically.
     """
 
     name: str
@@ -41,6 +47,13 @@ class Task:
     comm_bytes: float = 0.0
     channel: str = "p2p"  # "p2p" | "cpu"
     deps: List[str] = field(default_factory=list)
+    after: List[str] = field(default_factory=list)
+
+    def ordering_deps(self) -> Iterable[str]:
+        """Data and control dependencies, in one stream."""
+        if self.after:
+            return list(self.deps) + list(self.after)
+        return self.deps
 
 
 @dataclass
@@ -55,6 +68,9 @@ class SimResult:
     oom: bool = False
     oom_devices: List[int] = field(default_factory=list)
     num_tasks: int = 0
+    #: Time each compute device spent idle between iteration start and end —
+    #: the pipeline-parallel "bubble" when the program is staged.
+    per_device_idle_time: Dict[int, float] = field(default_factory=dict)
 
     def throughput(self, batch_size: int) -> float:
         """Training throughput in samples/second."""
@@ -107,7 +123,7 @@ class TaskGraphSimulator:
         for name in order:
             task = tasks[name]
             ready = 0.0
-            for dep in task.deps:
+            for dep in task.ordering_deps():
                 if dep not in finish:
                     raise SimulationError(
                         f"task {name!r} depends on unknown/unfinished task {dep!r}"
@@ -147,6 +163,14 @@ class TaskGraphSimulator:
 
         iteration_time = max(finish.values(), default=0.0)
 
+        # Per-device idle time relative to the compute stream: the makespan
+        # minus the time the device's stream was busy.  For staged execution
+        # this is the pipeline bubble of each stage.
+        idle_time = {
+            device: max(0.0, iteration_time - busy)
+            for device, busy in compute_busy.items()
+        }
+
         peak_memory = dict(peak_memory or {})
         oom_devices: List[int] = []
         if check_memory:
@@ -167,6 +191,7 @@ class TaskGraphSimulator:
             oom=bool(oom_devices),
             oom_devices=sorted(oom_devices),
             num_tasks=len(tasks),
+            per_device_idle_time=idle_time,
         )
 
     @staticmethod
@@ -174,7 +199,7 @@ class TaskGraphSimulator:
         indegree: Dict[str, int] = {name: 0 for name in tasks}
         consumers: Dict[str, List[str]] = {name: [] for name in tasks}
         for name, task in tasks.items():
-            for dep in task.deps:
+            for dep in task.ordering_deps():
                 if dep not in tasks:
                     raise SimulationError(
                         f"task {name!r} depends on missing task {dep!r}"

@@ -12,7 +12,7 @@ generator (unlike TVM / Tensor Comprehensions, as the paper notes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Sequence, Tuple, Union
 
 from repro.errors import TDLError
 

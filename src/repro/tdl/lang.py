@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
 from repro.errors import TDLError
 from repro.tdl.expr import (

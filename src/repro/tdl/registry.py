@@ -9,7 +9,7 @@ up here.  The registry also powers the Sec 4.1 coverage statistics
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.errors import TDLError
 from repro.tdl.lang import TDLOperator

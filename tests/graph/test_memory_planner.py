@@ -1,6 +1,5 @@
 """Tests for liveness analysis and the static memory planner."""
 
-import pytest
 
 from repro.graph.builder import GraphBuilder
 from repro.graph.memory_planner import plan_memory

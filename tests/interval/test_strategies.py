@@ -10,7 +10,7 @@ from repro.interval.strategies import (
     worker_input_elements,
     worker_output_elements,
 )
-from repro.tdl import Opaque, Sum
+from repro.tdl import Sum
 from repro.tdl.registry import get_description
 
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.graph.shape_inference import check_shapes
-from repro.models.mlp import build_mlp
 from repro.models.resnet import build_wide_resnet, wresnet_weight_gib
 from repro.models.rnn import build_rnn, rnn_weight_gib
 

@@ -1,6 +1,5 @@
 """Tests for graph coarsening (Sec 5.1)."""
 
-import pytest
 
 from repro.ops.registry import get_op
 from repro.partition.coarsen import coarsen

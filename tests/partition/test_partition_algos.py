@@ -1,6 +1,5 @@
 """Tests for the alternative partition algorithms of Figure 10."""
 
-import pytest
 
 from repro.baselines.partition_algos import (
     ALGORITHMS,

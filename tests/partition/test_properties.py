@@ -1,6 +1,5 @@
 """Property-based tests for the partition search (Theorems 1-3 analogues)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.graph.autodiff import build_backward, build_optimizer

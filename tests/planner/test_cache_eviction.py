@@ -5,7 +5,6 @@ from __future__ import annotations
 import os
 import time
 
-import pytest
 
 from repro.partition.plan import PartitionPlan, StepAssignment
 from repro.planner import PlanCache, Planner, PlannerConfig

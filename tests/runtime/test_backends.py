@@ -21,6 +21,8 @@ EXPECTED_BACKENDS = {
     "placement",
     "data-parallel",
     "swap",
+    "pipeline",
+    "hybrid",
 }
 
 
@@ -168,6 +170,47 @@ class TestEntryPoints:
 
             load_entry_point_backends(reload=True)
         assert "bad-spec" not in available_execution_backends()
+
+    def test_import_error_names_backend_and_distribution(self, monkeypatch):
+        """A plugin raising on import is reported with its backend name,
+        distribution and entry-point target — not a bare exception."""
+        import repro.plugins as plugins
+
+        class _FakeDist:
+            name = "evil-plugin"
+            version = "0.0.1"
+
+        class _RaisingEntryPoint:
+            name = "raising-backend"
+            value = "evil_plugin.backends:SPEC"
+            dist = _FakeDist()
+
+            def load(self):
+                raise ImportError("No module named 'evil_dependency'")
+
+        monkeypatch.setattr(
+            plugins,
+            "_iter_entry_points",
+            lambda group: [_RaisingEntryPoint()]
+            if group == "repro.runtime_backends"
+            else [],
+        )
+        plugins.reset_entry_point_group("repro.runtime_backends")
+        try:
+            from repro.runtime.backends import load_entry_point_backends
+
+            with pytest.warns(RuntimeWarning) as captured:
+                load_entry_point_backends(reload=True)
+            message = str(captured[0].message)
+            assert "raising-backend" in message
+            assert "evil-plugin" in message
+            assert "evil_plugin.backends:SPEC" in message
+            assert "ImportError" in message
+            assert "evil_dependency" in message
+            # Group already loaded: no re-warn while checking availability.
+            assert "raising-backend" not in available_execution_backends()
+        finally:
+            plugins.reset_entry_point_group("repro.runtime_backends")
 
     def test_entry_points_never_shadow_builtins(self, entry_point_group):
         entry_point_group("repro.runtime_backends", "swap", DUMMY_SPEC)

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.graph.builder import GraphBuilder
 from repro.sim.costmodel import graph_compute_time, kernel_time, node_kernel_time
 from repro.sim.device import DeviceSpec, GiB, k80_8gpu_machine, v100_machine
 from repro.sim.engine import SimResult, Task, TaskGraphSimulator

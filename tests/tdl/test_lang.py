@@ -5,7 +5,7 @@ import pytest
 from repro import tdl
 from repro.errors import TDLError
 from repro.tdl import Max, Min, Opaque, Prod, Sum
-from repro.tdl.expr import BinaryOp, Const, Reduce, TensorAccess
+from repro.tdl.expr import BinaryOp, Const, Reduce
 from repro.tdl.lang import elementwise
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro import describe_operator, partition_and_simulate, partition_graph
 from repro.cli import main as cli_main
-from repro.errors import TDLError
 
 
 class TestAPI:

@@ -1,10 +1,8 @@
 """The shipped examples must keep working (they are part of the public API)."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
