@@ -18,12 +18,16 @@ from repro.baselines.evaluation import (
     evaluate_hybrid,
     evaluate_ideal,
     evaluate_pipeline,
+    evaluate_strategy,
     evaluate_tofu,
 )
 from repro.models.rnn import build_rnn
 
 GLOBAL_BATCH = 256
-SYSTEMS = ["ideal", "pipeline-gpipe", "pipeline-1f1b", "hybrid", "tofu"]
+SYSTEMS = [
+    "ideal", "pipeline-gpipe", "pipeline-1f1b", "hybrid", "dp2/pipe2/tofu",
+    "tofu",
+]
 
 
 def _evaluate(layers: int, hidden: int):
@@ -44,6 +48,12 @@ def _evaluate(layers: int, hidden: int):
             system_name="pipeline-1f1b",
         ),
         "hybrid": evaluate_hybrid(build_fn, GLOBAL_BATCH, replica_groups=2),
+        # The composed strategy expression, routed through repro.compile:
+        # 2 replica groups x 2-stage 1F1B pipeline of 4 micro-batches.
+        "dp2/pipe2/tofu": evaluate_strategy(
+            build_fn, GLOBAL_BATCH, strategy="dp:2/pipeline:2:1f1b:4/tofu",
+            system_name="dp2/pipe2/tofu",
+        ),
         "tofu": evaluate_tofu(build_fn, GLOBAL_BATCH),
     }
 

@@ -1,20 +1,21 @@
-"""Quickstart: describe an operator, plan a small model, execute it.
+"""Quickstart: describe an operator, then compile a model under strategies.
 
-All planning goes through the :class:`repro.Planner` facade, which owns the
-search backends (``tofu``, ``joint``, the Figure 10 baselines), a
-content-addressed plan cache, and the parallel candidate search.  All
-execution goes through the :class:`repro.runtime.Executor` facade: one plan
-can be lowered and simulated under several execution backends
-(``tofu-partitioned``, ``single-device``, ``data-parallel``, ``swap``, ...).
+Everything routes through ``repro.compile(graph, strategy=..., machine=...)``:
+a strategy expression — ``tofu``, ``single``, ``swap``, ``dp:<groups>``,
+``pipeline:<stages>:<schedule>:<microbatches>``, composed with ``/`` — is
+lowered onto the planner (search backends + content-addressed plan cache)
+and the runtime (pluggable execution backends), and the returned
+:class:`repro.CompiledModel` bundles the plan, the lowered program and the
+simulated iteration report.  ``strategy="auto"`` sweeps composed strategies
+and keeps the fastest.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import Planner, PlannerConfig, describe_operator
+import repro
 from repro.models import build_mlp
-from repro.runtime import Executor
 from repro.sim.device import k80_8gpu_machine
 
 
@@ -22,50 +23,57 @@ def main() -> None:
     # 1. TDL + interval analysis: what partition-n-reduce strategies does a
     #    2-D convolution admit?  (Sec 3.1 / 4.2 of the paper.)
     print("== conv2d partition strategies discovered from its TDL description ==")
-    for strategy in describe_operator("conv2d"):
+    for strategy in repro.describe_operator("conv2d"):
         print("  ", strategy.describe())
 
     # 2. Build a small MLP training graph (forward + backward + optimiser).
     bundle = build_mlp(batch_size=64, input_dim=1024, hidden_dim=1024, num_layers=4)
     graph = bundle.graph
+    machine = k80_8gpu_machine()
     print(f"\n== model: {bundle.name} ==")
     print(f"operators: {graph.num_nodes()}, tensors: {graph.num_tensors()}")
 
-    # 3. Search a partition plan for 8 GPUs (coarsening + recursive DP).  The
-    #    planner memoises plans by content: repeating the call is a cache hit.
-    planner = Planner(PlannerConfig(backend="tofu"))
-    plan = planner.plan(graph, num_workers=8)
-    planner.plan(graph, num_workers=8)  # cache hit — no second search
+    # 3. Compile under the paper's system: Tofu's minimum-communication
+    #    partitioning over all 8 GPUs.  The planner memoises plans by content
+    #    (graph x factorisation x machine x backend x full strategy), so
+    #    compiling again is a cache hit.
+    model = repro.compile(graph, "tofu", machine)
     print("\n== partition plan ==")
-    print(plan.summary())
-    print(f"plan cache: {planner.cache_info()}")
+    print(model.plan.summary())
     for weight in bundle.weights[:4]:
         ndim = len(graph.tensor(weight).shape)
-        print(f"  {weight}: tiled {plan.describe_tensor(weight, ndim)}")
+        print(f"  {weight}: tiled {model.plan.describe_tensor(weight, ndim)}")
 
-    # 4. Compare against an alternative search backend (Figure 10 family).
-    spartan = planner.plan(graph, num_workers=8, backend="spartan")
-    print(f"\nspartan baseline cost: {spartan.total_comm_bytes / 2**30:.3f} GiB "
-          f"vs tofu {plan.total_comm_bytes / 2**30:.3f} GiB")
-
-    # 5. Lower the plan to per-device tasks and simulate one training
-    #    iteration on the modelled 8-GPU machine (Executor facade).
-    report = planner.plan_and_simulate(graph, num_workers=8, plan=plan)
-    print("\n== simulated execution ==")
-    print(report.summary())
-    print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
-
-    # 6. Plan once, execute under several backends: the same graph simulated
-    #    as Tofu-partitioned vs data-parallel vs single-GPU swapping.
-    executor = Executor()
-    machine = k80_8gpu_machine()
-    print("\n== one graph, three execution styles ==")
-    for backend in ("tofu-partitioned", "data-parallel", "swap"):
-        run = executor.run(graph, plan=plan, machine=machine, backend=backend)
+    # 4. One graph, several strategies: the combinator algebra composes
+    #    data, pipeline and model parallelism behind one entry point.
+    print("\n== one graph, five strategies ==")
+    for text in ("tofu", "tofu:spartan", "swap", "dp:2/tofu",
+                 "dp:2/pipeline:2:1f1b:4/tofu"):
+        run = repro.compile(graph, text, machine)
         print(
-            f"  {backend:<17} {run.result.iteration_time * 1e3:7.1f} ms/iter  "
-            f"(comm fraction {run.result.comm_fraction():.0%})"
+            f"  {text:<28} {run.iteration_time * 1e3:7.1f} ms/iter  "
+            f"(backend {run.backend})"
         )
+
+    # 5. Not sure how to split?  strategy="auto" sweeps composed strategies
+    #    (replica groups x stages x the tofu leaf) and keeps the fastest —
+    #    never slower than plain tofu, which is always in the candidate set.
+    best = repro.compile(graph, "auto", machine)
+    print("\n== auto sweep ==")
+    for entry in best.metadata["auto_sweep"]:
+        verdict = entry.get("error") or (
+            "oom" if entry["oom"] else f"{entry['iteration_time'] * 1e3:.1f} ms"
+        )
+        print(f"  {entry['strategy']:<28} {verdict}")
+    print(f"auto picked: {best.strategy_text}")
+    print(f"throughput: {best.throughput(bundle.batch_size):.1f} samples/s")
+
+    # 6. Compiled models persist: save() round-trips the plan and the
+    #    program metadata through JSON.
+    path = "/tmp/quickstart-compiled-model.json"
+    best.save(path)
+    reloaded = repro.CompiledModel.load(path)
+    print(f"\nsaved + reloaded: {reloaded.summary()}")
 
 
 if __name__ == "__main__":

@@ -12,10 +12,13 @@ Run with::
 
 import argparse
 
+from functools import partial
+
 from repro.baselines import (
     evaluate_ideal,
     evaluate_opplacement,
     evaluate_smallbatch,
+    evaluate_strategy,
     evaluate_swapping,
     evaluate_tofu,
 )
@@ -45,6 +48,9 @@ def main() -> None:
         "swap to host memory": evaluate_swapping,
         "operator placement": evaluate_opplacement,
         "tofu (this paper)": evaluate_tofu,
+        # Composed strategies route through repro.compile — the same
+        # expressions `repro.compile(graph, "dp:2/tofu")` accepts.
+        "hybrid dp:2/tofu": partial(evaluate_strategy, strategy="dp:2/tofu"),
     }
     print(f"\n{'system':<26}{'batch':>8}{'samples/s':>12}{'per-GPU mem':>14}{'note':>8}")
     ideal_throughput = None

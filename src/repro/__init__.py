@@ -3,16 +3,25 @@
 Reproduction of "Supporting Very Large Models using Automatic Dataflow Graph
 Partitioning" (Wang, Huang, Li — EuroSys 2019).  See README.md for a guided
 tour and DESIGN.md for the system inventory.
+
+The public surface is ``repro.compile(graph, strategy=..., machine=...)``
+plus the :mod:`repro.strategy` combinator algebra (``dp``, ``pipeline``,
+``tofu``, ``single``, ``placement``, ``swap``); the :class:`Planner` and
+:class:`Executor` facades remain available for callers that need the
+subsystems directly.
 """
 
 import repro.ops  # noqa: F401  (registers the operator library on import)
 
 from repro.api import (
+    CompiledModel,
     SimulationReport,
+    compile,
     describe_operator,
     partition_and_simulate,
     partition_graph,
 )
+from repro.compiler import compile_model
 from repro.planner import (
     Planner,
     PlannerConfig,
@@ -28,6 +37,16 @@ from repro.runtime import (
     default_executor,
     register_execution_backend,
 )
+from repro.strategy import (
+    Strategy,
+    dp,
+    parse_strategy,
+    pipeline,
+    placement,
+    single,
+    swap,
+    tofu,
+)
 from repro.errors import (
     ExecutionError,
     GraphError,
@@ -38,12 +57,14 @@ from repro.errors import (
     ReproError,
     ShapeError,
     SimulationError,
+    StrategyError,
     TDLError,
 )
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = [
+    "CompiledModel",
     "ExecutionError",
     "Executor",
     "ExecutorConfig",
@@ -59,15 +80,26 @@ __all__ = [
     "ShapeError",
     "SimulationError",
     "SimulationReport",
+    "Strategy",
+    "StrategyError",
     "TDLError",
     "__version__",
     "available_backends",
     "available_execution_backends",
+    "compile",
+    "compile_model",
     "default_executor",
     "default_planner",
     "describe_operator",
+    "dp",
+    "parse_strategy",
     "partition_and_simulate",
     "partition_graph",
+    "pipeline",
+    "placement",
     "register_backend",
     "register_execution_backend",
+    "single",
+    "swap",
+    "tofu",
 ]

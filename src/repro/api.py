@@ -1,57 +1,70 @@
-"""High-level public API — thin shims over the :class:`repro.planner.Planner`.
+"""High-level public API — :func:`repro.compile` plus legacy shims.
 
-The planner subsystem owns the end-to-end flow (search backends, plan cache,
-parallel candidate search); these functions keep the original convenience
-signatures and route through a process-wide default planner, so repeated
-planning of the same model is a cache hit even for legacy callers:
+The public surface is one entry point and one algebra:
 
+* :func:`compile` — ``repro.compile(graph, strategy=..., machine=...)``
+  returns a :class:`CompiledModel` bundling the partition plan, the lowered
+  per-device program and the simulated iteration report.  ``strategy`` is a
+  :class:`repro.strategy.Strategy` tree (``dp(2) / pipeline(4, "1f1b", 8) /
+  tofu()``), its canonical string (``"dp:2/pipeline:4:1f1b:8/tofu"``), or
+  ``"auto"`` for a bounded sweep over composed strategies.
 * :func:`describe_operator` — inspect the partition-n-reduce strategies Tofu
   discovers for a single operator from its TDL description.
-* :func:`partition_graph` — search a :class:`PartitionPlan` with any
-  registered backend (``backend="tofu"`` by default).
-* :func:`partition_and_simulate` — additionally lower the plan to per-device
-  execution (via the runtime subsystem's ``tofu-partitioned`` backend) and
-  simulate one training iteration on the modelled machine.
 
-For anything beyond one-shot calls — choosing backends, controlling the
-cache, parallel search — construct a :class:`repro.planner.Planner` directly;
-for other execution styles (single-device, operator placement, data-parallel,
-swapping) construct a :class:`repro.runtime.Executor`.
+The original convenience functions remain as thin shims over ``compile``
+(and the process-wide default planner, so repeated planning of the same
+model is still a cache hit):
+
+* :func:`partition_graph` — search a :class:`PartitionPlan`
+  (``compile(..., simulate=False).plan``).
+* :func:`partition_and_simulate` — plan, lower and simulate
+  (``compile(...).report``).  Its raw string-backend selection and
+  execution keyword arguments are deprecated in favour of the equivalent
+  strategy expression; passing them warns with that spelling.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.compiler import CompiledModel, compile, warn_legacy_api
 from repro.errors import TDLError
 from repro.graph.graph import Graph
 from repro.interval.strategies import PartitionStrategy, discover_strategies
 from repro.ops.registry import get_op
 from repro.partition.plan import PartitionPlan
-from repro.planner import Planner, SimulationReport, default_planner
-from repro.sim.device import MachineSpec
+from repro.planner import Planner, SimulationReport
+from repro.runtime import Executor
+from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.strategy import tofu
 from repro.tdl.registry import get_description
 
 __all__ = [
+    "CompiledModel",
     "SimulationReport",
+    "compile",
     "describe_operator",
     "partition_and_simulate",
     "partition_graph",
 ]
 
+_UNSET = object()
+
 
 def describe_operator(op_name: str) -> List[PartitionStrategy]:
     """Partition strategies of a registered operator, from its TDL description.
 
-    Raises :class:`TDLError` if the operator has no description (e.g. the
-    undescribable operator classes listed in Sec 4.1).
+    Raises :class:`TDLError` naming the operator when it has no TDL
+    description — whether it is an undescribable operator class (Sec 4.1) or
+    an element-wise operator registered without one — and
+    :class:`UnknownOperatorError` when the name is not registered at all.
     """
+    op = get_op(op_name)
     description = get_description(op_name)
+    if description is None and op.elementwise:
+        description = op.tdl
     if description is None:
-        if get_op(op_name).elementwise:
-            description = get_op(op_name).tdl
-        if description is None:
-            raise TDLError(f"operator {op_name!r} has no TDL description")
+        raise TDLError(f"operator {op_name!r} has no TDL description")
     return discover_strategies(description)
 
 
@@ -65,6 +78,12 @@ def partition_graph(
 ) -> PartitionPlan:
     """Find a minimum-communication partition plan for ``num_workers`` GPUs.
 
+    Equivalent to ``repro.compile(graph, strategy=tofu(backend),
+    simulate=False).plan`` — but planned through the planner facade with the
+    *legacy* cache key (no machine, no strategy field), so pre-existing
+    on-disk plan stores and direct ``Planner.plan`` callers keep sharing
+    entries with this function.
+
     ``allow_reduction=False`` reproduces the ICML18 strategy space; it is
     redundant (and therefore ignored) with ``backend="icml18"``, and backends
     without the option reject it with a :class:`PartitionError`.
@@ -77,10 +96,12 @@ def partition_graph(
     Pass ``planner=Planner(PlannerConfig(explore_factor_orders=False))`` for
     the paper's single-order search.
     """
-    planner = planner or default_planner()
+    from repro.planner import default_planner
+
     options = {}
     if not allow_reduction and backend != "icml18":
         options["allow_reduction"] = False
+    planner = planner or default_planner()
     return planner.plan(graph, num_workers, backend=backend, backend_options=options)
 
 
@@ -90,21 +111,73 @@ def partition_and_simulate(
     machine: Optional[MachineSpec] = None,
     *,
     plan: Optional[PartitionPlan] = None,
-    backend: str = "tofu",
+    backend: str = _UNSET,
     planner: Optional[Planner] = None,
-    fuse_remote_fetch: bool = True,
-    add_control_dependencies: bool = True,
-    spread_reduction: bool = True,
+    fuse_remote_fetch: bool = _UNSET,
+    add_control_dependencies: bool = _UNSET,
+    spread_reduction: bool = _UNSET,
 ) -> SimulationReport:
-    """Partition ``graph``, generate the per-device execution and simulate it."""
-    planner = planner or default_planner()
-    return planner.plan_and_simulate(
+    """Partition ``graph``, generate the per-device execution and simulate it.
+
+    A shim over ``repro.compile(graph, strategy=tofu(backend), ...).report``.
+    Selecting a search backend by raw string or passing the
+    ``tofu-partitioned`` execution keywords here is deprecated: both are
+    strategy/compile concerns now, and the warning names the equivalent
+    spelling.
+    """
+    if backend is not _UNSET:
+        # Message only: render the default backend as the bare "tofu" leaf.
+        suggested = tofu(backend if backend != "tofu" else None)
+        warn_legacy_api(
+            "partition_and_simulate(backend=...)",
+            f'repro.compile(graph, strategy="{suggested}", ...)',
+        )
+    else:
+        backend = "tofu"
+    exec_options = {}
+    for name, value in (
+        ("fuse_remote_fetch", fuse_remote_fetch),
+        ("add_control_dependencies", add_control_dependencies),
+        ("spread_reduction", spread_reduction),
+    ):
+        if value is not _UNSET:
+            exec_options[name] = value
+    if exec_options:
+        rendered = ", ".join(f"{k}={v!r}" for k, v in exec_options.items())
+        # Message only: render the default backend as the bare "tofu" leaf.
+        suggested = tofu(backend if backend != "tofu" else None)
+        warn_legacy_api(
+            f"partition_and_simulate({rendered})",
+            f'repro.compile(graph, strategy="{suggested}", '
+            f"backend_options={{{rendered}}})",
+        )
+    machine = machine or k80_8gpu_machine(num_workers)
+    if plan is None:
+        # Legacy semantics wholesale: the plan is searched for
+        # ``num_workers`` — keyed on (and, for machine-aware backends,
+        # informed by) the *caller's* machine, whatever its device count.
+        from repro.planner import default_planner
+
+        plan = (planner or default_planner()).plan(
+            graph, num_workers, machine=machine, backend=backend
+        )
+    if machine.num_devices == 1:
+        # compile's strategy lowering degenerates a one-device machine to
+        # single-device execution; the legacy contract is tofu-partitioned
+        # execution of the one-worker plan, execution kwargs included.
+        return Executor().run(
+            graph,
+            plan=plan,
+            machine=machine,
+            backend="tofu-partitioned",
+            backend_options=exec_options,
+        )
+    model = compile(
         graph,
-        num_workers,
+        tofu(backend),
         machine,
         plan=plan,
-        backend=backend,
-        fuse_remote_fetch=fuse_remote_fetch,
-        add_control_dependencies=add_control_dependencies,
-        spread_reduction=spread_reduction,
+        planner=planner,
+        backend_options=exec_options or None,
     )
+    return model.report

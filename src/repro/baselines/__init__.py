@@ -3,9 +3,12 @@
 from repro.baselines.evaluation import (
     EVALUATORS,
     SystemResult,
+    evaluate_hybrid,
     evaluate_ideal,
     evaluate_opplacement,
+    evaluate_pipeline,
     evaluate_smallbatch,
+    evaluate_strategy,
     evaluate_swapping,
     evaluate_tofu,
     round_robin_placement,
@@ -25,9 +28,12 @@ __all__ = [
     "SystemResult",
     "allrow_greedy_plan",
     "equalchop_plan",
+    "evaluate_hybrid",
     "evaluate_ideal",
     "evaluate_opplacement",
+    "evaluate_pipeline",
     "evaluate_smallbatch",
+    "evaluate_strategy",
     "evaluate_swapping",
     "evaluate_tofu",
     "icml18_plan",

@@ -9,19 +9,33 @@ Execution goes through the :class:`repro.runtime.Executor` facade: each
 system maps onto one registered execution backend (``single-device``,
 ``swap``, ``placement``, ``tofu-partitioned``, ``pipeline``, ``hybrid``), so
 the evaluators only decide batch sizes and read the simulated verdicts.
+
+The parallel alternatives (pipeline, hybrid — and any composed strategy)
+route through :func:`evaluate_strategy`, which compiles a
+:class:`repro.strategy.Strategy` expression per candidate batch via
+``repro.compile`` and runs the same largest-batch-that-fits search as the
+paper's baselines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
 
+from repro.errors import StrategyError
 from repro.graph.memory_planner import plan_memory
 from repro.models.layers import ModelBundle
 from repro.partition.plan import PartitionPlan
-from repro.runtime import Executor, SimulationReport
-from repro.runtime.passes import full_layer_assignment
+from repro.runtime import Executor
+from repro.runtime.passes import full_layer_assignment, round_robin_layer_placement
 from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.strategy import Strategy, dp, parse_strategy
+from repro.strategy import pipeline as pipeline_strategy
+from repro.strategy import placement as placement_strategy
+from repro.strategy import single as single_strategy
+from repro.strategy import swap as swap_strategy
+from repro.strategy import tofu as tofu_strategy
+from repro.strategy import weight_shards
 
 BuildFn = Callable[[int], ModelBundle]
 GiB = 1 << 30
@@ -71,14 +85,10 @@ def round_robin_placement(bundle: ModelBundle, num_devices: int) -> Dict[str, in
     """Round-robin layers across devices; backward/optimiser nodes follow
     their forward layer (the Operator-Placement policy of Sec 7.1).
 
-    The layer propagation is the runtime's stage-assignment pass
-    (:func:`repro.runtime.passes.full_layer_assignment`), shared with the
-    pipeline backend."""
-    layer_of_node = full_layer_assignment(bundle.graph)
-    return {
-        node: layer_of_node.get(node, 0) % num_devices
-        for node in bundle.graph.nodes
-    }
+    Delegates to the runtime's shared policy pass
+    (:func:`repro.runtime.passes.round_robin_layer_placement`), which the
+    ``placement`` strategy leaf also uses."""
+    return round_robin_layer_placement(bundle.graph, num_devices)
 
 
 # ---------------------------------------------------------------------------
@@ -392,6 +402,130 @@ def evaluate_tofu(
 
 
 # ---------------------------------------------------------------------------
+# Strategy expressions (pipeline / hybrid / any composition)
+# ---------------------------------------------------------------------------
+def evaluate_strategy(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: Optional[MachineSpec] = None,
+    *,
+    strategy: Union[Strategy, str] = "tofu",
+    planner: Optional["Planner"] = None,
+    system_name: Optional[str] = None,
+) -> SystemResult:
+    """Evaluate any :mod:`repro.strategy` expression end to end.
+
+    Compiles the strategy per candidate batch via ``repro.compile`` (plans
+    are cached under the full strategy key) and runs the same
+    largest-batch-that-fits search as the paper's baselines: probe at a
+    small batch, extrapolate the per-device footprint, halve on
+    over-estimates.
+    """
+    from repro.compiler import compile_model
+    from repro.planner import Planner
+
+    machine = machine or k80_8gpu_machine()
+    strategy = parse_strategy(strategy)
+    system_name = system_name or str(strategy)
+    planner = planner or Planner()
+    capacity = machine.device(0).memory_bytes
+    shards = weight_shards(strategy, machine)
+
+    def build(batch: int):
+        bundle = build_fn(batch)
+        # lower_only: plan + lower (the memory report) without pricing the
+        # simulation; only a candidate batch that fits gets simulated.
+        return bundle, compile_model(
+            bundle.graph, strategy, machine, planner=planner, lower_only=True
+        )
+
+    probe_batch = min(global_batch, max(machine.num_devices, 8))
+    probe, probe_model = build(probe_batch)
+    persistent = 3.0 * probe.weight_bytes() / shards
+    activation = probe_model.program.per_device_peak_bytes - persistent
+    if activation > 0:
+        batch = min(
+            global_batch,
+            max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
+        )
+    else:
+        # The persistent estimate swallowed the probe's peak: memory barely
+        # scales with batch, so try the full batch and let the halving loop
+        # handle an over-estimate.
+        batch = global_batch
+
+    last_bundle: Optional[ModelBundle] = None
+    while batch >= 1:
+        bundle, model = build(batch)
+        last_bundle = bundle
+        program = model.program
+        if program.per_device_peak_bytes <= capacity:
+            result = model.simulate().result
+            extras: Dict[str, float] = {
+                "comm_gib_per_iter": program.total_comm_bytes / GiB,
+            }
+            if program.schedule is not None:
+                extras["num_stages"] = float(program.num_stages)
+                extras["num_microbatches"] = float(program.num_microbatches)
+                extras["bubble_fraction"] = model.report.bubble_fraction()
+            if "replica_groups" in program.stats:
+                extras["replica_groups"] = program.stats["replica_groups"]
+            if model.plan is not None:
+                extras["search_time_s"] = model.plan.search_time_seconds
+            return SystemResult(
+                system=system_name,
+                model=bundle.name,
+                batch_size=batch,
+                iteration_time=result.iteration_time,
+                throughput=batch / result.iteration_time,
+                oom=result.oom,
+                comm_fraction=result.comm_fraction(),
+                per_device_memory_gib=program.per_device_peak_bytes / GiB,
+                notes=f"strategy {strategy}",
+                extras=extras,
+            )
+        batch //= 2
+    assert last_bundle is not None
+    return SystemResult(
+        system=system_name,
+        model=last_bundle.name,
+        batch_size=0,
+        iteration_time=float("inf"),
+        throughput=0.0,
+        oom=True,
+        notes=f"strategy {strategy} exceeds GPU memory at any batch size",
+    )
+
+
+def _memoized_build_fn(build_fn: BuildFn) -> BuildFn:
+    """Cache bundles by batch size, so the stage-count probe and the batch
+    search share one graph build per batch instead of rebuilding."""
+    bundles: Dict[int, ModelBundle] = {}
+
+    def build(batch_size: int) -> ModelBundle:
+        if batch_size not in bundles:
+            bundles[batch_size] = build_fn(batch_size)
+        return bundles[batch_size]
+
+    return build
+
+
+def _default_stage_count(
+    build_fn: BuildFn, global_batch: int, devices: int, probe_devices: int
+) -> int:
+    """One stage per device, capped by the model's layer count (the pipeline
+    backend's own default, computed up front so it can go in the strategy).
+
+    ``probe_devices`` sizes the probe batch the way the batch search does
+    (whole-machine device count), so a memoized ``build_fn`` shares the
+    bundle with the search's own probe.
+    """
+    probe = build_fn(min(global_batch, max(probe_devices, 8)))
+    num_layers = len(set(full_layer_assignment(probe.graph).values()))
+    return max(1, min(devices, num_layers))
+
+
+# ---------------------------------------------------------------------------
 # Pipeline parallelism
 # ---------------------------------------------------------------------------
 def evaluate_pipeline(
@@ -406,85 +540,37 @@ def evaluate_pipeline(
 ) -> SystemResult:
     """GPipe/1F1B micro-batch pipelining, one stage per device.
 
-    The whole global batch flows through the pipeline in micro-batches; the
-    largest batch whose bottleneck stage fits device memory wins, exactly like
-    the other alternatives' batch search.
+    A shim over :func:`evaluate_strategy` with
+    ``pipeline(stages, schedule, microbatches)``; the whole global batch
+    flows through the pipeline in micro-batches and the largest batch whose
+    bottleneck stage fits device memory wins.
     """
     machine = machine or k80_8gpu_machine()
-    executor = Executor()
-    capacity = machine.device(0).memory_bytes
-    options = {
-        "num_stages": num_stages,
-        "num_microbatches": num_microbatches,
-        "schedule": schedule,
-    }
-
-    def lower(bundle: ModelBundle):
-        return executor.lower(
-            bundle.graph,
-            machine=machine,
-            backend="pipeline",
-            backend_options=options,
+    build_fn = _memoized_build_fn(build_fn)
+    if num_stages is None:
+        num_stages = _default_stage_count(
+            build_fn, global_batch, machine.num_devices, machine.num_devices
         )
-
-    probe_batch = min(global_batch, max(machine.num_devices, 8))
-    probe = build_fn(probe_batch)
-    probe_program = lower(probe)
-    stages = probe_program.num_stages
-    persistent = 3.0 * probe.weight_bytes() / stages
-    activation = probe_program.per_device_peak_bytes - persistent
-    if activation > 0:
-        batch = min(
-            global_batch,
-            max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
-        )
-    else:
-        # The persistent estimate swallowed the probe's peak: memory barely
-        # scales with batch, so try the full batch and let the halving loop
-        # handle an over-estimate.
-        batch = global_batch
-
-    last_bundle: Optional[ModelBundle] = None
-    while batch >= 1:
-        bundle = build_fn(batch)
-        last_bundle = bundle
-        program = lower(bundle)
-        if program.per_device_peak_bytes <= capacity:
-            result = executor.simulate(program, machine)
-            report = SimulationReport(
-                plan=None, partitioned=None, result=result, program=program
-            )
-            return SystemResult(
-                system=system_name,
-                model=bundle.name,
-                batch_size=batch,
-                iteration_time=result.iteration_time,
-                throughput=batch / result.iteration_time,
-                oom=result.oom,
-                comm_fraction=result.comm_fraction(),
-                per_device_memory_gib=program.per_device_peak_bytes / GiB,
-                extras={
-                    "num_stages": float(program.num_stages),
-                    "num_microbatches": float(program.num_microbatches),
-                    "bubble_fraction": report.bubble_fraction(),
-                },
-            )
-        batch //= 2
-    assert last_bundle is not None
-    return SystemResult(
-        system=system_name,
-        model=last_bundle.name,
-        batch_size=0,
-        iteration_time=float("inf"),
-        throughput=0.0,
-        oom=True,
-        notes="bottleneck pipeline stage exceeds GPU memory at any batch size",
+    return evaluate_strategy(
+        build_fn,
+        global_batch,
+        machine,
+        strategy=pipeline_strategy(num_stages, schedule, num_microbatches),
+        system_name=system_name,
     )
 
 
 # ---------------------------------------------------------------------------
 # Hybrid data + model parallelism
 # ---------------------------------------------------------------------------
+_INNER_LEAVES = {
+    "tofu-partitioned": tofu_strategy,
+    "single-device": single_strategy,
+    "placement": placement_strategy,
+    "swap": swap_strategy,
+}
+
+
 def evaluate_hybrid(
     build_fn: BuildFn,
     global_batch: int,
@@ -497,31 +583,72 @@ def evaluate_hybrid(
     system_name: str = "hybrid",
 ) -> SystemResult:
     """Data-parallel replica groups, each running Tofu partitioning (or any
-    inner execution backend) on its share of the batch."""
-    from repro.planner import Planner
+    inner execution backend) on its share of the batch.
 
+    A shim over :func:`evaluate_strategy` with ``dp(groups) / inner`` —
+    ``inner`` accepts the execution-backend names the CLI exposes
+    (``tofu-partitioned``, ``pipeline``, ``single-device``, ...) or any
+    strategy expression.  Backends with no strategy-leaf spelling
+    (``data-parallel``, third-party plugins) evaluate through the hybrid
+    executor directly, exactly like the pre-strategy implementation.
+    """
     machine = machine or k80_8gpu_machine()
+    build_fn = _memoized_build_fn(build_fn)
+    group_devices = max(1, machine.num_devices // max(1, replica_groups))
+    if inner == "pipeline":
+        leaf = pipeline_strategy(
+            _default_stage_count(
+                build_fn, global_batch, group_devices, machine.num_devices
+            )
+        )
+    elif inner == "tofu-partitioned":
+        leaf = tofu_strategy(backend)
+    elif inner in _INNER_LEAVES:
+        leaf = _INNER_LEAVES[inner]()
+    else:
+        try:
+            leaf = parse_strategy(inner)
+        except StrategyError:
+            return _evaluate_hybrid_backend(
+                build_fn,
+                global_batch,
+                machine,
+                replica_groups=replica_groups,
+                inner=inner,
+                system_name=system_name,
+                group_devices=group_devices,
+            )
+    return evaluate_strategy(
+        build_fn,
+        global_batch,
+        machine,
+        strategy=dp(replica_groups) / leaf,
+        planner=planner,
+        system_name=system_name,
+    )
+
+
+def _evaluate_hybrid_backend(
+    build_fn: BuildFn,
+    global_batch: int,
+    machine: MachineSpec,
+    *,
+    replica_groups: int,
+    inner: str,
+    system_name: str,
+    group_devices: int,
+) -> SystemResult:
+    """Hybrid evaluation for inner *execution backends* the strategy algebra
+    cannot spell (``data-parallel``, entry-point plugins): the same
+    largest-batch-that-fits search, straight through the executor."""
     executor = Executor()
     capacity = machine.device(0).memory_bytes
-    group_devices = machine.num_devices // max(1, replica_groups)
-    sub_machine = replace(
-        machine, devices=list(machine.devices[:group_devices])
-    )
-    needs_plan = inner == "tofu-partitioned"
-    planner = planner or (Planner() if needs_plan else None)
+    options = {"replica_groups": replica_groups, "inner": inner}
 
     def lower(bundle: ModelBundle):
-        plan = None
-        if needs_plan:
-            plan = planner.plan(
-                bundle.graph, group_devices, machine=sub_machine, backend=backend
-            )
         return executor.lower(
-            bundle.graph,
-            plan=plan,
-            machine=machine,
-            backend="hybrid",
-            backend_options={"replica_groups": replica_groups, "inner": inner},
+            bundle.graph, machine=machine, backend="hybrid",
+            backend_options=options,
         )
 
     probe_batch = min(global_batch, max(machine.num_devices, 8))
@@ -535,8 +662,6 @@ def evaluate_hybrid(
             max(1, _estimate_max_batch(probe_batch, persistent, activation, capacity)),
         )
     else:
-        # See evaluate_pipeline: the estimate says memory barely scales with
-        # batch, so start from the full batch and halve on over-estimates.
         batch = global_batch
 
     last_bundle: Optional[ModelBundle] = None
@@ -555,6 +680,7 @@ def evaluate_hybrid(
                 oom=result.oom,
                 comm_fraction=result.comm_fraction(),
                 per_device_memory_gib=program.per_device_peak_bytes / GiB,
+                notes=f"hybrid inner {inner}",
                 extras={
                     "replica_groups": float(replica_groups),
                     "comm_gib_per_iter": program.total_comm_bytes / GiB,
@@ -569,7 +695,7 @@ def evaluate_hybrid(
         iteration_time=float("inf"),
         throughput=0.0,
         oom=True,
-        notes="replica-group shard exceeds GPU memory at any batch size",
+        notes=f"hybrid inner {inner} exceeds GPU memory at any batch size",
     )
 
 
@@ -581,4 +707,5 @@ EVALUATORS = {
     "tofu": evaluate_tofu,
     "pipeline": evaluate_pipeline,
     "hybrid": evaluate_hybrid,
+    "strategy": evaluate_strategy,
 }

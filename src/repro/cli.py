@@ -1,19 +1,28 @@
-"""Command-line interface, built on the :class:`repro.planner.Planner` and
-:class:`repro.runtime.Executor` facades.
+"""Command-line interface, built on ``repro.compile`` and the
+:class:`repro.planner.Planner` / :class:`repro.runtime.Executor` facades.
 
-``partition`` and ``simulate`` accept a ``--backend`` (any registered search
-backend — see ``tofu-repro backends``), a ``--cache-dir`` for the persistent
-plan store, and ``--jobs`` for the parallel candidate search.  ``simulate``
-additionally accepts an ``--executor`` (any registered execution backend —
-see ``tofu-repro executors``) to run the model under a different execution
-style: Tofu's partitioned execution, single-device, operator placement, data
-parallelism, or CPU-memory swapping.
+``compile`` is the strategy-first entry point: ``--strategy`` takes any
+expression of the combinator mini-language (``tofu``, ``single``,
+``placement``, ``swap``, ``dp:<groups>``,
+``pipeline:<stages>[:<schedule>[:<microbatches>]]``, composed with ``/``) or
+``auto`` for the bounded sweep; ``--dry-run`` shows the lowering without
+planning or simulating, and ``--save`` persists the compiled model as JSON.
+
+``partition`` and ``simulate`` remain for facade-level use: a ``--backend``
+(any registered search backend — see ``tofu-repro backends``), a
+``--cache-dir`` for the persistent plan store, ``--jobs`` for the parallel
+candidate search, and (``simulate``) an ``--executor`` for any registered
+execution backend.
 
 Examples::
 
     tofu-repro describe conv2d
     tofu-repro backends
     tofu-repro executors
+    tofu-repro compile --model rnn --strategy dp:2/pipeline:2:1f1b:4/tofu \\
+        --workers 8
+    tofu-repro compile --model mlp --strategy auto --workers 8
+    tofu-repro compile --model mlp --strategy dp:2/tofu --dry-run
     tofu-repro partition --model wresnet --depth 50 --widen 4 --batch 32 --workers 8
     tofu-repro partition --model mlp --backend spartan --workers 8
     tofu-repro simulate --model rnn --layers 6 --hidden 4096 --batch 256 \\
@@ -33,6 +42,7 @@ import sys
 
 from repro.api import describe_operator
 from repro.baselines.evaluation import round_robin_placement
+from repro.compiler import compile_model
 from repro.errors import ReproError
 from repro.models.mlp import build_mlp
 from repro.models.resnet import build_wide_resnet
@@ -45,6 +55,12 @@ from repro.runtime import (
     get_execution_backend,
 )
 from repro.sim.device import k80_8gpu_machine
+from repro.strategy import (
+    auto_candidates,
+    combinator_descriptions,
+    lower_strategy,
+    parse_strategy,
+)
 from repro.tdl.registry import GLOBAL_REGISTRY
 
 
@@ -110,12 +126,19 @@ def cmd_describe(args) -> int:
     return 0
 
 
+def _print_combinators() -> None:
+    print("strategy combinators (compose with '/', see `compile --strategy`):")
+    for name, description in combinator_descriptions().items():
+        print(f"  {name:<44} {description}")
+
+
 def cmd_backends(args) -> int:
     print("registered search backends:")
     for name in available_backends():
         spec = get_backend(name)
         extra = " [parallel candidate search]" if spec.supports_factor_orders else ""
         print(f"  {name:<14} {spec.description}{extra}")
+    _print_combinators()
     return 0
 
 
@@ -125,6 +148,7 @@ def cmd_executors(args) -> int:
         spec = get_execution_backend(name)
         extra = " [needs partition plan]" if spec.requires_plan else ""
         print(f"  {name:<17} {spec.description}{extra}")
+    _print_combinators()
     return 0
 
 
@@ -202,6 +226,56 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_compile(args) -> int:
+    if args.dry_run and args.save:
+        print(
+            "error: --save needs a compiled model; drop --dry-run to "
+            "compile and save",
+            file=sys.stderr,
+        )
+        return 1
+    bundle = _build_model(args)
+    machine = k80_8gpu_machine(args.workers)
+    print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
+    text = args.strategy.strip()
+    strategy = text
+    if text.lower() == "auto":
+        if args.dry_run:
+            print("strategy: auto — candidate sweep:")
+            for candidate in auto_candidates(machine):
+                print(f"  {candidate}")
+            return 0
+    else:
+        strategy = parse_strategy(text)
+        if args.dry_run:
+            print(f"strategy: {strategy}")
+            lowering = lower_strategy(strategy, machine, graph=bundle.graph)
+            print(lowering.describe())
+            return 0
+    model = compile_model(
+        bundle.graph,
+        strategy,
+        machine,
+        planner=_make_planner(args),
+    )
+    print(model.summary())
+    print(f"throughput: {model.throughput(bundle.batch_size):.1f} samples/s")
+    if "auto_sweep" in model.metadata:
+        print("auto sweep:")
+        for entry in model.metadata["auto_sweep"]:
+            if "error" in entry:
+                print(f"  {entry['strategy']:<32} error: {entry['error']}")
+            else:
+                verdict = "oom" if entry["oom"] else (
+                    f"{entry['iteration_time'] * 1e3:.2f} ms"
+                )
+                print(f"  {entry['strategy']:<32} {verdict}")
+    if args.save:
+        model.save(args.save)
+        print(f"saved: {args.save}")
+    return 0
+
+
 def cmd_coverage(args) -> int:
     own = GLOBAL_REGISTRY.coverage_report()
     mxnet = mxnet_catalog_counts()
@@ -229,6 +303,29 @@ def main(argv=None) -> int:
         "executors", help="list registered execution backends"
     )
     p_executors.set_defaults(func=cmd_executors)
+
+    p_compile = sub.add_parser(
+        "compile", help="compile a model under a strategy expression"
+    )
+    _add_model_args(p_compile)
+    _add_planner_args(p_compile)
+    p_compile.add_argument(
+        "--strategy",
+        default="tofu",
+        help="strategy expression (e.g. dp:2/pipeline:2:1f1b:4/tofu) or 'auto'",
+    )
+    p_compile.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="show the strategy lowering (or auto candidates) without "
+        "planning or simulating",
+    )
+    p_compile.add_argument(
+        "--save",
+        default=None,
+        help="write the compiled model (plan + program metadata) to this path",
+    )
+    p_compile.set_defaults(func=cmd_compile)
 
     p_partition = sub.add_parser("partition", help="search a partition plan")
     _add_model_args(p_partition)

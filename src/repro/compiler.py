@@ -1,0 +1,464 @@
+"""``repro.compile`` — one entry point from a graph to an executable model.
+
+The paper's thesis is that *one* abstraction (partition-n-reduce) hides how
+a model is split.  ``compile`` is that abstraction's public face: take a
+built training graph, a :class:`repro.strategy.Strategy` (tree, canonical
+string, or ``"auto"``) and a machine model, and return a
+:class:`CompiledModel` bundling everything the strategy produced — the
+partition plan (when one was searched), the lowered per-device program, and
+the simulated iteration report — with ``save()``/``load()`` for the plan and
+program metadata.
+
+The strategy tree lowers onto the existing subsystems
+(:func:`repro.strategy.lower_strategy`): ``dp(...)`` is interpreted by the
+``hybrid`` execution backend, ``pipeline(...)`` passes its stage/schedule
+parameters to the ``pipeline`` backend, and a ``tofu`` leaf first runs the
+:class:`repro.planner.Planner` (plans are cached under a key covering the
+*full* strategy, so two hybrid/pipeline configurations never collide on one
+entry).
+
+``strategy="auto"`` sweeps a bounded set of composed strategies
+(:func:`repro.strategy.auto_candidates` — replica-group counts × stage
+counts × the tofu leaf) and keeps the best simulated iteration time; plain
+``tofu()`` is always in the set, so ``auto`` is never slower than it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import ExecutionError, PartitionError, StrategyError
+from repro.graph.graph import Graph
+from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
+from repro.runtime.core import Executor, SimulationReport
+from repro.runtime.program import LoweredProgram
+from repro.sim.device import (
+    MachineSpec,
+    k80_8gpu_machine,
+    machine_from_dict,
+    machine_to_dict,
+)
+from repro.strategy.algebra import Strategy, parse
+from repro.strategy.auto import auto_candidates
+from repro.strategy.lowering import lower_strategy
+
+__all__ = ["CompiledModel", "compile", "compile_model"]
+
+SAVE_FORMAT = "repro-compiled-model"
+SAVE_VERSION = 1
+
+# The metadata split of one save payload; _program_metadata emits exactly
+# these keys (program ones always, result ones when a report exists).
+_PROGRAM_META_KEYS = (
+    "backend", "num_devices", "num_tasks", "total_comm_bytes",
+    "per_device_memory", "num_microbatches", "stats",
+)
+_RESULT_META_KEYS = ("iteration_time", "comm_fraction", "oom")
+
+
+@dataclass
+class CompiledModel:
+    """Everything one strategy produced for one graph on one machine.
+
+    ``program`` and ``report`` hold the full lowered tasks and simulation
+    verdict right after :func:`compile`; a model reloaded with
+    :meth:`load` keeps the plan and the program/result *metadata* (backend,
+    devices, memory report, iteration time) without the task graph, which is
+    cheap to re-lower from the plan.
+    """
+
+    strategy: Strategy
+    machine: MachineSpec
+    plan: Optional[PartitionPlan] = None
+    program: Optional[LoweredProgram] = None
+    report: Optional[SimulationReport] = None
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def strategy_text(self) -> str:
+        """The canonical string form of the compiled strategy."""
+        return str(self.strategy)
+
+    @property
+    def backend(self) -> str:
+        """Execution backend the strategy lowered to."""
+        if self.program is not None:
+            return self.program.backend
+        return str(self.metadata.get("backend", ""))
+
+    @property
+    def iteration_time(self) -> float:
+        """Simulated seconds per training iteration."""
+        if self.report is not None:
+            return self.report.result.iteration_time
+        return float(self.metadata.get("iteration_time", 0.0))
+
+    @property
+    def oom(self) -> bool:
+        if self.report is not None:
+            return self.report.result.oom
+        return bool(self.metadata.get("oom", False))
+
+    def throughput(self, batch_size: int) -> float:
+        """Samples per second at ``batch_size`` samples per iteration."""
+        if self.iteration_time <= 0:
+            return 0.0
+        return batch_size / self.iteration_time
+
+    def simulate(self, executor: Optional[Executor] = None) -> SimulationReport:
+        """Simulate the lowered program and fill :attr:`report`.
+
+        A no-op when the model is already simulated.  Only a model holding
+        its lowered program can be simulated — i.e. one from
+        :func:`compile` (``lower_only=True`` defers exactly this step); a
+        model reloaded from disk carries metadata only.
+        """
+        if self.report is not None:
+            return self.report
+        if self.program is None:
+            raise StrategyError(
+                "cannot simulate: this model carries no lowered program "
+                "(compile it again; save()/load() keeps metadata only)"
+            )
+        executor = executor or Executor()
+        result = executor.simulate(self.program)
+        self.report = SimulationReport(
+            plan=self.plan,
+            partitioned=self.program.partitioned,
+            result=result,
+            program=self.program,
+        )
+        self.metadata.update(_program_metadata(self.program, self.report))
+        return self.report
+
+    def summary(self) -> str:
+        if self.report is not None:
+            text = self.report.summary()
+            if not text.startswith("strategy:"):
+                text = f"strategy: {self.strategy_text}\n{text}"
+            return text
+        return (
+            f"strategy: {self.strategy_text}\n"
+            f"backend: {self.backend}, iteration time: "
+            f"{self.iteration_time * 1e3:.1f} ms (loaded metadata)"
+        )
+
+    # -------------------------------------------------------------- save/load
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form: strategy + machine + plan + program and
+        result metadata (the task graph itself is not persisted)."""
+        # One authority for the metadata shape: a live program/report is
+        # re-snapshotted through _program_metadata, a loaded model re-emits
+        # the metadata it was loaded with.
+        source = (
+            _program_metadata(self.program, self.report)
+            if self.program is not None
+            else self.metadata
+        )
+        program_meta = {k: source[k] for k in _PROGRAM_META_KEYS if k in source}
+        result_meta = {k: source[k] for k in _RESULT_META_KEYS if k in source}
+        payload: Dict[str, object] = {
+            "format": SAVE_FORMAT,
+            "version": SAVE_VERSION,
+            "strategy": self.strategy.to_dict(),
+            "strategy_text": self.strategy_text,
+            "machine": machine_to_dict(self.machine),
+            "plan": plan_to_dict(self.plan) if self.plan is not None else None,
+            "program": program_meta,
+            "result": result_meta,
+        }
+        if "auto_sweep" in self.metadata:
+            payload["auto_sweep"] = self.metadata["auto_sweep"]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CompiledModel":
+        """Rebuild a model from :meth:`to_dict` output."""
+        if payload.get("format") != SAVE_FORMAT:
+            raise StrategyError(
+                f"not a {SAVE_FORMAT} payload "
+                f"(format={payload.get('format')!r})"
+            )
+        metadata: Dict[str, object] = {}
+        metadata.update(payload.get("program") or {})
+        metadata.update(payload.get("result") or {})
+        if "auto_sweep" in payload:
+            metadata["auto_sweep"] = payload["auto_sweep"]
+        plan_payload = payload.get("plan")
+        return cls(
+            strategy=Strategy.from_dict(payload["strategy"]),
+            machine=machine_from_dict(payload["machine"]),
+            plan=plan_from_dict(plan_payload) if plan_payload else None,
+            metadata=metadata,
+        )
+
+    def save(self, path: str) -> str:
+        """Write the model (plan + program metadata) as JSON to ``path``."""
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "CompiledModel":
+        """Reload a model saved with :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def _resolve_machine(
+    machine: Optional[MachineSpec], num_workers: Optional[int]
+) -> MachineSpec:
+    if machine is None:
+        return k80_8gpu_machine(num_workers if num_workers else 8)
+    if num_workers is not None and num_workers != machine.num_devices:
+        raise StrategyError(
+            f"num_workers={num_workers} contradicts the machine's "
+            f"{machine.num_devices} devices; pass one or the other"
+        )
+    return machine
+
+
+def _program_metadata(
+    program: LoweredProgram, report: Optional[SimulationReport]
+) -> Dict[str, object]:
+    metadata: Dict[str, object] = {
+        "backend": program.backend,
+        "num_devices": program.num_devices,
+        "num_tasks": len(program.tasks),
+        "total_comm_bytes": program.total_comm_bytes,
+        "per_device_memory": {
+            str(device): required
+            for device, required in program.per_device_memory.items()
+        },
+        "num_microbatches": program.num_microbatches,
+        "stats": dict(program.stats),
+    }
+    if report is not None:
+        metadata["iteration_time"] = report.result.iteration_time
+        metadata["comm_fraction"] = report.result.comm_fraction()
+        metadata["oom"] = report.result.oom
+    return metadata
+
+
+def compile(
+    graph: Graph,
+    strategy: Union[Strategy, str] = "tofu",
+    machine: Optional[MachineSpec] = None,
+    *,
+    num_workers: Optional[int] = None,
+    plan: Optional[PartitionPlan] = None,
+    planner: Optional["Planner"] = None,
+    executor: Optional[Executor] = None,
+    plan_options: Optional[Mapping[str, object]] = None,
+    backend_options: Optional[Mapping[str, object]] = None,
+    simulate: bool = True,
+    lower_only: bool = False,
+    candidates: Optional[Sequence[Union[Strategy, str]]] = None,
+) -> CompiledModel:
+    """Compile ``graph`` for ``machine`` under ``strategy``.
+
+    Args:
+        graph: A built (training) dataflow graph.
+        strategy: A :class:`Strategy` tree, its canonical string form
+            (``"dp:2/pipeline:4:1f1b:8/tofu"``), or ``"auto"`` to sweep
+            composed strategies and keep the fastest.  ``"auto"`` rejects
+            ``plan=...``, ``simulate=False`` and ``backend_options`` (they
+            are single-strategy concerns); ``plan_options`` apply to every
+            candidate's search.
+        machine: Machine model; defaults to the paper's 8×K80 box (sized to
+            ``num_workers`` when given).
+        num_workers: Shorthand for the default machine's device count;
+            rejected if it contradicts an explicit ``machine``.
+        plan: Pre-searched partition plan for the strategy's ``tofu`` leaf
+            (skips planning).
+        planner: Planner to search (and cache) plans with; defaults to the
+            process-wide planner, so repeated compiles share one cache.
+        executor: Executor to lower/simulate with (defaults to a fresh one).
+        plan_options: Extra search-backend options for the planner.
+        backend_options: Extra execution-backend options merged over the
+            lowered strategy options (e.g. ``fuse_remote_fetch=False``).
+        simulate: When false, stop after planning — ``CompiledModel.plan``
+            is filled, ``program``/``report`` stay ``None``.
+        lower_only: Plan and lower but defer the simulation; the returned
+            model holds its ``program`` (memory report included) and
+            :meth:`CompiledModel.simulate` completes it on demand.  The
+            batch-search evaluators use this to price only programs that
+            fit device memory.
+        candidates: Overrides the ``"auto"`` candidate set (strategy trees
+            or strings); ignored for explicit strategies.
+
+    Returns:
+        A :class:`CompiledModel`; its ``report`` carries the simulated
+        iteration verdict unless ``simulate=False``.
+    """
+    from repro.planner.core import default_planner
+
+    machine = _resolve_machine(machine, num_workers)
+    if isinstance(strategy, str) and strategy.strip().lower() == "auto":
+        if plan is not None:
+            raise StrategyError(
+                "strategy='auto' searches its own plans; pass an explicit "
+                "strategy to compile with a pre-searched plan"
+            )
+        if not simulate or lower_only:
+            raise StrategyError(
+                "strategy='auto' picks by simulated iteration time and "
+                "cannot run with simulate=False or lower_only=True"
+            )
+        if backend_options:
+            raise StrategyError(
+                "strategy='auto' sweeps candidates lowering to different "
+                "execution backends, so backend-specific backend_options "
+                "cannot apply; compile the chosen strategy explicitly instead"
+            )
+        return _compile_auto(
+            graph,
+            machine,
+            planner=planner,
+            executor=executor,
+            plan_options=plan_options,
+            candidates=candidates,
+        )
+    strategy = parse(strategy) if isinstance(strategy, str) else strategy
+    if not isinstance(strategy, Strategy):
+        raise StrategyError(
+            f"strategy must be a Strategy or string, got {type(strategy).__name__}"
+        )
+    lowering = lower_strategy(strategy, machine, graph=graph)
+
+    if plan is None and lowering.plan_workers:
+        planner = planner or default_planner()
+        plan = planner.plan(
+            graph,
+            lowering.plan_workers,
+            machine=lowering.plan_machine or machine,
+            backend=lowering.plan_backend,
+            backend_options=plan_options,
+            strategy=lowering.strategy,
+        )
+
+    if not simulate:
+        return CompiledModel(
+            strategy=lowering.strategy,
+            machine=machine,
+            plan=plan,
+            metadata={"backend": lowering.backend},
+        )
+
+    options = dict(lowering.options)
+    if backend_options:
+        options.update(backend_options)
+    executor = executor or Executor()
+    if lower_only:
+        program = executor.lower(
+            graph,
+            plan=plan,
+            machine=machine,
+            backend=lowering.backend,
+            backend_options=options,
+        )
+        program.strategy = str(lowering.strategy)
+        return CompiledModel(
+            strategy=lowering.strategy,
+            machine=machine,
+            plan=program.plan if program.plan is not None else plan,
+            program=program,
+            metadata=_program_metadata(program, None),
+        )
+    report = executor.run(
+        graph,
+        plan=plan,
+        machine=machine,
+        backend=lowering.backend,
+        backend_options=options,
+    )
+    program = report.program
+    if program is not None:
+        program.strategy = str(lowering.strategy)
+    return CompiledModel(
+        strategy=lowering.strategy,
+        machine=machine,
+        plan=report.plan if report.plan is not None else plan,
+        program=program,
+        report=report,
+        metadata=_program_metadata(program, report),
+    )
+
+
+# Re-exported under a non-shadowing name for callers that keep the builtin
+# ``compile`` in scope.
+compile_model = compile
+
+
+def _compile_auto(
+    graph: Graph,
+    machine: MachineSpec,
+    *,
+    planner: Optional["Planner"],
+    executor: Optional[Executor],
+    plan_options: Optional[Mapping[str, object]] = None,
+    candidates: Optional[Sequence[Union[Strategy, str]]],
+) -> CompiledModel:
+    """Compile every candidate strategy and keep the fastest non-OOM one."""
+    from repro.planner.core import default_planner
+
+    planner = planner or default_planner()
+    if candidates is None:
+        pool: List[Strategy] = auto_candidates(machine)
+    else:
+        pool = [parse(c) if isinstance(c, str) else c for c in candidates]
+    if not pool:
+        raise StrategyError("strategy='auto' needs at least one candidate")
+
+    best: Optional[CompiledModel] = None
+    sweep: List[Dict[str, object]] = []
+    for candidate in pool:
+        try:
+            model = compile(
+                graph,
+                candidate,
+                machine,
+                planner=planner,
+                executor=executor,
+                plan_options=plan_options,
+            )
+        except (StrategyError, ExecutionError, PartitionError) as exc:
+            sweep.append({"strategy": str(candidate), "error": str(exc)})
+            continue
+        sweep.append(
+            {
+                "strategy": model.strategy_text,
+                "iteration_time": model.iteration_time,
+                "oom": model.oom,
+            }
+        )
+        if model.oom:
+            continue
+        if best is None or model.iteration_time < best.iteration_time:
+            best = model
+    if best is None:
+        raise StrategyError(
+            "strategy='auto' found no executable candidate (all "
+            f"{len(pool)} candidates failed or exceeded device memory)"
+        )
+    best.metadata["auto_sweep"] = sweep
+    return best
+
+
+def warn_legacy_api(old: str, new: str) -> None:
+    """Deprecation pointer from a legacy surface to its strategy spelling."""
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

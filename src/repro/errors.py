@@ -55,6 +55,11 @@ class ExecutionError(ReproError):
     backend, missing partition plan, unsupported lowering options, ...)."""
 
 
+class StrategyError(ReproError):
+    """Raised for malformed strategy expressions (unknown combinators, bad
+    arguments, compositions the runtime cannot lower)."""
+
+
 class OutOfMemoryError(SimulationError):
     """Raised (or recorded) when a simulated device exceeds its memory capacity."""
 

@@ -64,26 +64,36 @@ def plan_cache_key(
     backend_options: Mapping[str, object],
     *,
     explore_factor_orders: bool = True,
+    strategy: Optional[object] = None,
 ) -> str:
     """The content address of one planning request.
+
+    ``strategy`` is the full :class:`repro.strategy.Strategy` the plan is
+    searched for (or its dict form), when the request came through
+    ``repro.compile``.  Folding the whole tree into the key means two
+    strategies that differ anywhere — replica-group count, stage count,
+    schedule, micro-batches — can never collide on one cache entry, even
+    when their ``tofu`` leaves would search identical plans.
 
     Raises ``TypeError`` when an input is not JSON-serialisable — e.g. a
     pre-built ``coarse=CoarsenedGraph`` backend option.  Such inputs have no
     stable content address (hashing their repr would embed memory addresses),
     so the planner bypasses the cache for those requests instead.
     """
-    payload = json.dumps(
-        {
-            "graph": graph_signature(graph),
-            "factors": list(factors),
-            "machine": machine_signature(machine),
-            "backend": backend,
-            "options": backend_options,
-            "explore_factor_orders": bool(explore_factor_orders),
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    fields = {
+        "graph": graph_signature(graph),
+        "factors": list(factors),
+        "machine": machine_signature(machine),
+        "backend": backend,
+        "options": backend_options,
+        "explore_factor_orders": bool(explore_factor_orders),
+    }
+    if strategy is not None:
+        # Only present for strategy-routed requests, so legacy callers (and
+        # their pre-existing on-disk stores) keep their exact keys.
+        to_dict = getattr(strategy, "to_dict", None)
+        fields["strategy"] = to_dict() if callable(to_dict) else strategy
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 

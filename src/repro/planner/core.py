@@ -92,6 +92,7 @@ class Planner:
         machine: Optional[MachineSpec] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Mapping[str, object]] = None,
+        strategy: Optional[object] = None,
     ) -> PartitionPlan:
         """Search (or recall) a partition plan for ``num_workers`` workers.
 
@@ -101,6 +102,9 @@ class Planner:
         cache key even though the built-in backends are machine-agnostic (a
         cost-model-aware backend need not be), so pass the same value to
         ``plan`` and ``plan_and_simulate`` to share entries between them.
+        ``strategy`` — the full :class:`repro.strategy.Strategy` when the
+        request came through ``repro.compile`` — is folded into the cache key
+        so differently-composed strategies never collide on one entry.
         Requests whose backend options are not JSON-serialisable (e.g. a
         pre-built ``coarse`` graph) have no stable content address and bypass
         the cache entirely.
@@ -117,6 +121,7 @@ class Planner:
                 key = plan_cache_key(
                     graph, factors, machine, spec.name, options,
                     explore_factor_orders=explore,
+                    strategy=strategy,
                 )
             except TypeError:
                 key = None

@@ -158,7 +158,7 @@ def load_entry_points(
             spec = _resolve_spec(entry_point.name, loaded, make_spec, spec_type)
         except Exception as exc:  # third-party code: degrade, don't crash
             warnings.warn(
-                _broken_entry_point_message(group, entry_point, exc),
+                _broken_entry_point_message(group, entry_point, exc, registry),
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -171,12 +171,33 @@ def load_entry_points(
     return added
 
 
-def _broken_entry_point_message(group: str, entry_point, exc: Exception) -> str:
+def _strategy_combinator_hint() -> str:
+    """The strategy mini-language keywords, for the diagnostics below.
+
+    Imported lazily (and defensively): ``plugins`` is a leaf module both
+    registries depend on, so the strategy package must not become a hard
+    import of it.
+    """
+    try:
+        from repro.strategy.algebra import combinator_names
+    except Exception:  # pragma: no cover - circular/partial-install guard
+        return ""
+    return ", ".join(combinator_names())
+
+
+def _broken_entry_point_message(
+    group: str,
+    entry_point,
+    exc: Exception,
+    registry: Optional[Dict[str, object]] = None,
+) -> str:
     """Diagnostic for a third-party backend that failed to load.
 
     Names the backend, the distribution that advertised it and the entry
     point's target, so the operator knows *which package* to fix or
-    uninstall instead of staring at a bare traceback.
+    uninstall instead of staring at a bare traceback — and enumerates what
+    still works: the backends already registered plus the built-in strategy
+    combinators ``repro.compile`` accepts regardless of plugins.
     """
     dist = getattr(entry_point, "dist", None)
     dist_name = getattr(dist, "name", None)
@@ -189,11 +210,20 @@ def _broken_entry_point_message(group: str, entry_point, exc: Exception) -> str:
         origin = "an unknown distribution"
     target = getattr(entry_point, "value", None)
     target_part = f" = {target!r}" if target else ""
-    return (
+    message = (
         f"ignoring broken {group!r} entry point {entry_point.name!r}"
         f"{target_part} from {origin}: "
         f"{type(exc).__name__}: {exc}"
     )
+    if registry:
+        available = ", ".join(sorted(registry))
+        message += f"; registered backends still available: {available}"
+    combinators = _strategy_combinator_hint()
+    if combinators:
+        message += (
+            f"; strategy combinators (repro.compile): {combinators}"
+        )
+    return message
 
 
 def _resolve_spec(name: str, loaded, make_spec, spec_type):

@@ -55,6 +55,12 @@ class SimulationReport:
     def backend(self) -> str:
         return self.program.backend if self.program is not None else ""
 
+    @property
+    def strategy(self) -> Optional[str]:
+        """Canonical strategy string the execution was compiled from, when
+        it came through ``repro.compile`` (``None`` for direct Executor use)."""
+        return self.program.strategy if self.program is not None else None
+
     def throughput(self, batch_size: int) -> float:
         return self.result.throughput(batch_size)
 
@@ -86,6 +92,8 @@ class SimulationReport:
 
     def summary(self) -> str:
         lines = []
+        if self.strategy:
+            lines.append(f"strategy: {self.strategy}")
         if self.plan is not None:
             lines.append(self.plan.summary())
         if self.partitioned is not None:

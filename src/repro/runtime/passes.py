@@ -166,6 +166,20 @@ def full_layer_assignment(graph: Graph) -> Dict[str, int]:
     return layer_of
 
 
+def round_robin_layer_placement(graph: Graph, num_devices: int) -> Dict[str, int]:
+    """Round-robin layers across devices; backward/optimiser nodes follow
+    their forward layer (the Operator-Placement policy of Sec 7.1).
+
+    The one authority for the policy: both the ``placement`` strategy leaf
+    and the Operator-Placement baseline evaluator delegate here, so they can
+    never silently diverge.
+    """
+    layer_of_node = full_layer_assignment(graph)
+    return {
+        node: layer_of_node.get(node, 0) % num_devices for node in graph.nodes
+    }
+
+
 def balanced_contiguous_partition(
     costs: Sequence[float], num_groups: int
 ) -> List[Tuple[int, int]]:

@@ -51,6 +51,9 @@ class LoweredProgram:
         schedule: The per-stage slot order the lowering encoded as
             stage-ordering control dependencies, when the program is
             micro-batch pipelined.
+        strategy: Canonical string of the :class:`repro.strategy.Strategy`
+            the program was compiled from, when it came through
+            ``repro.compile`` (provenance; empty for direct Executor use).
     """
 
     backend: str
@@ -66,6 +69,7 @@ class LoweredProgram:
     num_microbatches: int = 1
     stage_of_node: Optional[Mapping[str, int]] = None
     schedule: Optional["PipelineSchedule"] = None
+    strategy: Optional[str] = None
 
     @property
     def per_device_peak_bytes(self) -> int:

@@ -75,3 +75,18 @@ def v100_machine(num_gpus: int = 8) -> MachineSpec:
         cpu_bandwidth=32e9,
         kernel_launch_overhead=5e-6,
     )
+
+
+def machine_to_dict(machine: MachineSpec) -> dict:
+    """JSON-serialisable form of a machine model; inverse of
+    :func:`machine_from_dict`.  Backs ``CompiledModel.save``."""
+    import dataclasses
+
+    return dataclasses.asdict(machine)
+
+
+def machine_from_dict(payload: dict) -> MachineSpec:
+    """Rebuild a :class:`MachineSpec` from :func:`machine_to_dict` output."""
+    devices = [DeviceSpec(**entry) for entry in payload.get("devices", [])]
+    kwargs = {k: v for k, v in payload.items() if k != "devices"}
+    return MachineSpec(devices=devices, **kwargs)

@@ -1,0 +1,51 @@
+"""The strategy mini-language: one algebra for every way a model is split.
+
+``repro.strategy`` is the public face of the partitioning abstraction: a
+small immutable tree of combinators (``dp``, ``pipeline``, ``tofu``,
+``single``, ``placement``, ``swap``) composable with ``/``, with a canonical
+string form (:func:`parse` / ``str``), dict serialization
+(:meth:`Strategy.to_dict` / :meth:`Strategy.from_dict`) and a content
+address (:meth:`Strategy.signature`).  :func:`repro.compile` interprets a
+strategy onto the planner + runtime machinery via
+:func:`lower_strategy`; ``strategy="auto"`` sweeps :func:`auto_candidates`.
+"""
+
+from repro.strategy.algebra import (
+    PIPELINE_SCHEDULES,
+    Strategy,
+    combinator_descriptions,
+    combinator_names,
+    dp,
+    normalize,
+    parse,
+    pipeline,
+    placement,
+    single,
+    swap,
+    tofu,
+)
+from repro.strategy.auto import auto_candidates
+from repro.strategy.lowering import StrategyLowering, lower_strategy, weight_shards
+
+# The root namespace re-exports the parser under an unambiguous name.
+parse_strategy = parse
+
+__all__ = [
+    "PIPELINE_SCHEDULES",
+    "Strategy",
+    "StrategyLowering",
+    "auto_candidates",
+    "combinator_descriptions",
+    "combinator_names",
+    "dp",
+    "lower_strategy",
+    "normalize",
+    "parse",
+    "parse_strategy",
+    "pipeline",
+    "placement",
+    "single",
+    "swap",
+    "tofu",
+    "weight_shards",
+]

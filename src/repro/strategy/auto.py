@@ -1,0 +1,68 @@
+"""``strategy="auto"``: a bounded sweep over composed strategies.
+
+The ROADMAP's "hybrid evaluator sweep / auto-pick G" follow-up, generalised:
+instead of sweeping only replica-group counts, enumerate a bounded set of
+*composed* strategies — replica-group counts × pipeline stage counts × the
+inner leaf — compile each one, and keep the best simulated iteration time.
+Plain ``tofu()`` is always a candidate, so the sweep's answer is never
+slower than the paper's own system on the modelled machine.
+
+The candidate set is deliberately small (divisor-aligned group/stage counts,
+one schedule) so ``auto`` stays a bounded planning step, not a search
+explosion; callers wanting a wider sweep pass their own candidate list to
+:func:`repro.compile`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim.device import MachineSpec
+from repro.strategy.algebra import Strategy, dp, pipeline, single, tofu
+
+__all__ = ["auto_candidates"]
+
+
+def _divisors(value: int) -> List[int]:
+    return [d for d in range(1, value + 1) if value % d == 0]
+
+
+def auto_candidates(
+    machine: MachineSpec,
+    *,
+    microbatches: int = 4,
+    schedule: str = "1f1b",
+    max_candidates: int = 16,
+) -> List[Strategy]:
+    """The bounded strategy sweep for ``machine``, best-first-agnostic order.
+
+    Always includes ``tofu()`` and ``single()``; adds ``dp(G)/tofu()`` for
+    every divisor group count, ``pipeline(S, ...)`` for every divisor stage
+    count, and the composed ``dp(G)/pipeline(S, ...)/tofu()`` grid while the
+    ``max_candidates`` budget lasts.
+    """
+    devices = machine.num_devices
+    candidates: List[Strategy] = [tofu(), single()]
+    for groups in _divisors(devices):
+        if groups > 1:
+            candidates.append(dp(groups) / tofu())
+    for stages in _divisors(devices):
+        if stages > 1:
+            candidates.append(pipeline(stages, schedule, microbatches))
+    for groups in _divisors(devices):
+        if groups == 1 or groups == devices:
+            continue
+        for stages in _divisors(devices // groups):
+            if stages > 1:
+                candidates.append(
+                    dp(groups) / pipeline(stages, schedule, microbatches) / tofu()
+                )
+    # Dedup (degenerate collapses can alias) while keeping order, then bound.
+    seen = set()
+    unique: List[Strategy] = []
+    for candidate in candidates:
+        key = str(candidate)
+        if key not in seen:
+            seen.add(key)
+            unique.append(candidate)
+    return unique[: max(1, max_candidates)]

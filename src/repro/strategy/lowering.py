@@ -1,0 +1,217 @@
+"""Lowering a :class:`Strategy` tree onto the planner + runtime machinery.
+
+The strategy algebra stays abstract; this module is its interpreter.  Each
+tree maps onto exactly one registered execution backend plus its options:
+
+* ``dp(G) / inner`` → the ``hybrid`` backend (``replica_groups=G``, the
+  lowered inner as ``hybrid``'s inner backend);
+* ``pipeline(S, sched, M)`` → the ``pipeline`` backend (stage count,
+  schedule and micro-batch count pass straight through);
+* the leaves → ``tofu-partitioned`` / ``single-device`` / ``placement`` /
+  ``swap``.
+
+The device budget flows down the tree: ``dp(G)`` divides the machine into
+``G`` equal groups, ``pipeline(S)`` gives each stage one device, and a
+``tofu`` leaf partitions over whatever devices remain — so the lowering also
+reports *how many workers the partition plan must be searched for* (and on
+which machine slice), which :func:`repro.compile` feeds to the planner.
+
+Compositions the runtime cannot execute (``dp`` inside ``dp``, a multi-device
+strategy inside a pipeline stage) are rejected here with a
+:class:`StrategyError` naming the offending node, before any search runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.errors import StrategyError
+from repro.graph.graph import Graph
+from repro.sim.device import MachineSpec
+from repro.strategy.algebra import (
+    DataParallel,
+    Pipeline,
+    Placement,
+    Single,
+    Strategy,
+    Swap,
+    Tofu,
+    normalize,
+)
+
+__all__ = ["StrategyLowering", "lower_strategy", "weight_shards"]
+
+
+@dataclass
+class StrategyLowering:
+    """How one strategy executes: the backend selection plus the planning
+    requirement :func:`repro.compile` must satisfy first.
+
+    Attributes:
+        strategy: The normalized strategy the lowering interprets.
+        backend: Execution-backend registry key the tree lowers to.
+        options: Backend options encoding the tree's parameters.
+        plan_workers: Worker count a partition plan must be searched for
+            (``None`` when no node needs a plan).
+        plan_backend: Search-backend registry key for that plan (``None``
+            for a bare ``tofu`` leaf — the searching planner's configured
+            default applies).
+        plan_machine: Machine slice the plan's workers correspond to (one
+            replica group for ``dp``-wrapped strategies).
+    """
+
+    strategy: Strategy
+    backend: str
+    options: Dict[str, object] = field(default_factory=dict)
+    plan_workers: Optional[int] = None
+    plan_backend: Optional[str] = None
+    plan_machine: Optional[MachineSpec] = None
+
+    def describe(self) -> str:
+        parts = [f"executor: {self.backend}"]
+        if self.options:
+            rendered = ", ".join(
+                f"{k}={v!r}" for k, v in sorted(self.options.items())
+                if k != "device_of_node"
+            )
+            if rendered:
+                parts.append(f"options: {rendered}")
+        if self.plan_workers:
+            backend = self.plan_backend or "<planner default>"
+            parts.append(
+                f"plan: {backend} search for {self.plan_workers} worker(s)"
+            )
+        return "\n".join(parts)
+
+
+def _round_robin_placement(graph: Graph, num_devices: int) -> Dict[str, int]:
+    # Imported lazily: runtime.passes pulls in the cost model, which the
+    # pure algebra/parser path never needs.
+    from repro.runtime.passes import round_robin_layer_placement
+
+    return round_robin_layer_placement(graph, num_devices)
+
+
+def _lower_node(
+    node: Strategy, machine: MachineSpec, graph: Optional[Graph]
+) -> StrategyLowering:
+    """Lower one node onto the devices of ``machine`` (already sliced by any
+    enclosing ``dp``)."""
+    if isinstance(node, Single):
+        return StrategyLowering(node, "single-device")
+    if isinstance(node, Swap):
+        return StrategyLowering(node, "swap")
+    if isinstance(node, Placement):
+        options: Dict[str, object] = {}
+        if graph is not None:
+            options["device_of_node"] = _round_robin_placement(
+                graph, machine.num_devices
+            )
+        return StrategyLowering(node, "placement", options)
+    if isinstance(node, Tofu):
+        if machine.num_devices == 1:
+            # A one-device partition is the whole graph on that device.
+            return StrategyLowering(node, "single-device")
+        return StrategyLowering(
+            node,
+            "tofu-partitioned",
+            plan_workers=machine.num_devices,
+            plan_backend=node.backend,
+            plan_machine=machine,
+        )
+    if isinstance(node, Pipeline):
+        if node.stages > machine.num_devices:
+            raise StrategyError(
+                f"{node._segment()!r} wants {node.stages} stages but only "
+                f"{machine.num_devices} device(s) remain for it"
+            )
+        inner = node.inner
+        if inner is not None and not isinstance(inner, (Single, Tofu)):
+            raise StrategyError(
+                f"pipeline stages run on a single device; "
+                f"{str(inner)!r} cannot execute inside "
+                f"{node._segment()!r} (use single() or tofu(), which "
+                f"degenerates to one device per stage)"
+            )
+        return StrategyLowering(
+            node,
+            "pipeline",
+            {
+                "num_stages": node.stages,
+                "num_microbatches": node.microbatches,
+                "schedule": node.schedule,
+            },
+        )
+    if isinstance(node, DataParallel):
+        raise StrategyError(
+            f"{node._segment()!r} cannot nest inside another dp(...) group "
+            f"(the hybrid interpreter composes one data-parallel level)"
+        )
+    raise StrategyError(f"no lowering for strategy node {str(node)!r}")
+
+
+def lower_strategy(
+    strategy: Strategy,
+    machine: MachineSpec,
+    *,
+    graph: Optional[Graph] = None,
+) -> StrategyLowering:
+    """Interpret a strategy tree as (execution backend, options, plan needs).
+
+    ``graph`` is only needed by lowerings that embed graph-derived options
+    (the ``placement`` leaf's device map); pass it whenever available.
+    """
+    root = normalize(strategy)
+    if not isinstance(root, DataParallel):
+        lowering = _lower_node(root, machine, graph)
+        lowering.strategy = root
+        return lowering
+
+    groups = root.groups
+    if machine.num_devices % groups:
+        raise StrategyError(
+            f"{root._segment()!r} needs the device count "
+            f"({machine.num_devices}) to be divisible by its {groups} groups"
+        )
+    group_devices = machine.num_devices // groups
+    sub_machine = replace(machine, devices=list(machine.devices[:group_devices]))
+    inner = _lower_node(root.inner or Single(), sub_machine, graph)
+    options: Dict[str, object] = {
+        "replica_groups": groups,
+        "inner": inner.backend,
+    }
+    if inner.options:
+        options["inner_options"] = dict(inner.options)
+    return StrategyLowering(
+        root,
+        "hybrid",
+        options,
+        plan_workers=inner.plan_workers,
+        plan_backend=inner.plan_backend,
+        plan_machine=inner.plan_machine,
+    )
+
+
+def weight_shards(strategy: Strategy, machine: MachineSpec) -> int:
+    """How many ways the strategy shards the *weights* across devices.
+
+    ``dp`` replicates weights (no sharding); ``pipeline`` stages, ``tofu``
+    partitions, and layer-wise ``placement`` split them.  The batch-search
+    evaluators use this to estimate the persistent per-device footprint
+    (``3 W / shards``) before probing.
+    """
+    root = normalize(strategy)
+    devices = machine.num_devices
+    shards = 1
+    for node in root.chain():
+        if isinstance(node, DataParallel):
+            if devices % node.groups == 0:
+                devices //= node.groups
+        elif isinstance(node, Pipeline):
+            shards *= min(node.stages, devices)
+            devices = 1
+        elif isinstance(node, (Tofu, Placement)):
+            shards *= max(1, devices)
+            devices = 1
+    return max(1, shards)

@@ -171,6 +171,22 @@ class TestEntryPoints:
             load_entry_point_backends(reload=True)
         assert "bad-spec" not in available_execution_backends()
 
+    def test_broken_entry_point_warning_enumerates_what_still_works(
+        self, entry_point_group
+    ):
+        """The diagnostic lists the registered backends and the strategy
+        combinators, so a broken plugin never reads as a broken system."""
+        entry_point_group("repro.runtime_backends", "bad-spec-2", object())
+        with pytest.warns(RuntimeWarning) as records:
+            from repro.runtime.backends import load_entry_point_backends
+
+            load_entry_point_backends(reload=True)
+        message = "\n".join(str(r.message) for r in records)
+        assert "registered backends still available" in message
+        assert "tofu-partitioned" in message
+        assert "strategy combinators (repro.compile)" in message
+        assert "dp" in message and "pipeline" in message
+
     def test_import_error_names_backend_and_distribution(self, monkeypatch):
         """A plugin raising on import is reported with its backend name,
         distribution and entry-point target — not a bare exception."""

@@ -1,0 +1,392 @@
+"""Tests for ``repro.compile``: backend parity, auto sweep, save/load,
+strategy-aware plan-cache keys, and the legacy-API deprecation path."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import partition_and_simulate
+from repro.compiler import CompiledModel, compile_model
+from repro.errors import StrategyError, TDLError, UnknownOperatorError
+from repro.planner import Planner, PlannerConfig, plan_cache_key
+from repro.partition.plan import factorize_workers
+from repro.runtime import Executor
+from repro.sim.device import k80_8gpu_machine
+from repro.strategy import dp, pipeline, single, swap, tofu
+
+MACHINE = k80_8gpu_machine(4)
+
+
+class TestCompile:
+    def test_returns_compiled_model_with_report(self, mlp_bundle):
+        model = repro.compile(mlp_bundle.graph, "tofu", MACHINE)
+        assert isinstance(model, CompiledModel)
+        assert model.backend == "tofu-partitioned"
+        assert model.plan is not None and model.plan.num_workers == 4
+        assert model.report is not None and model.iteration_time > 0
+        assert model.throughput(mlp_bundle.batch_size) > 0
+        assert model.program.strategy == "tofu"
+        assert "strategy: tofu" in model.summary()
+
+    def test_accepts_strategy_objects_and_strings(self, mlp_bundle):
+        by_text = repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE)
+        by_tree = repro.compile(mlp_bundle.graph, dp(2) / tofu(), MACHINE)
+        assert by_text.iteration_time == by_tree.iteration_time
+        assert by_text.strategy == by_tree.strategy
+
+    def test_num_workers_shorthand(self, mlp_bundle):
+        model = repro.compile(mlp_bundle.graph, "single", num_workers=2)
+        assert model.machine.num_devices == 2
+        with pytest.raises(StrategyError, match="contradicts"):
+            repro.compile(mlp_bundle.graph, "single", MACHINE, num_workers=8)
+
+    def test_simulate_false_stops_after_planning(self, mlp_bundle):
+        model = repro.compile(
+            mlp_bundle.graph, "tofu", MACHINE, simulate=False
+        )
+        assert model.plan is not None
+        assert model.program is None and model.report is None
+
+    def test_lower_only_defers_simulation(self, mlp_bundle):
+        model = repro.compile(
+            mlp_bundle.graph, "dp:2/tofu", MACHINE, lower_only=True
+        )
+        assert model.program is not None and model.report is None
+        assert model.program.per_device_peak_bytes > 0  # memory report ready
+        report = model.simulate()
+        assert model.report is report
+        assert model.iteration_time == report.result.iteration_time
+        full = repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE)
+        assert model.iteration_time == full.iteration_time
+        assert model.simulate() is report  # idempotent
+
+    def test_simulate_requires_a_program(self, mlp_bundle, tmp_path):
+        model = repro.compile(mlp_bundle.graph, "tofu", MACHINE)
+        path = str(tmp_path / "m.json")
+        model.save(path)
+        loaded = CompiledModel.load(path)
+        with pytest.raises(StrategyError, match="no lowered program"):
+            loaded.simulate()
+
+    def test_hybrid_parity_with_direct_executor(self, rnn_bundle):
+        """The acceptance-criteria parity: the composed strategy simulates
+        exactly like the hybrid backend configured with the same params."""
+        model = repro.compile(
+            rnn_bundle.graph, "dp:2/pipeline:2:1f1b:4/tofu", MACHINE
+        )
+        direct = Executor().run(
+            rnn_bundle.graph,
+            machine=MACHINE,
+            backend="hybrid",
+            backend_options={
+                "replica_groups": 2,
+                "inner": "pipeline",
+                "inner_options": {
+                    "num_stages": 2, "num_microbatches": 4, "schedule": "1f1b",
+                },
+            },
+        )
+        assert model.backend == "hybrid"
+        assert model.iteration_time == direct.result.iteration_time
+        assert model.program.total_comm_bytes == direct.program.total_comm_bytes
+
+    def test_pipeline_parity_with_direct_executor(self, rnn_bundle):
+        model = repro.compile(rnn_bundle.graph, "pipeline:2:gpipe:4", MACHINE)
+        direct = Executor().run(
+            rnn_bundle.graph,
+            machine=MACHINE,
+            backend="pipeline",
+            backend_options={
+                "num_stages": 2, "num_microbatches": 4, "schedule": "gpipe",
+            },
+        )
+        assert model.iteration_time == direct.result.iteration_time
+
+    def test_dp_tofu_parity_with_direct_executor(self, mlp_bundle):
+        planner = Planner()
+        model = repro.compile(
+            mlp_bundle.graph, "dp:2/tofu", MACHINE, planner=planner
+        )
+        plan = planner.plan(
+            mlp_bundle.graph, 2,
+            machine=model.report.program.machine, backend="tofu",
+        )
+        direct = Executor().run(
+            mlp_bundle.graph,
+            plan=model.plan,
+            machine=MACHINE,
+            backend="hybrid",
+            backend_options={"replica_groups": 2, "inner": "tofu-partitioned"},
+        )
+        assert model.plan.num_workers == 2 == plan.num_workers
+        assert model.iteration_time == direct.result.iteration_time
+
+    def test_degenerate_strategy_matches_single_device(self, mlp_bundle):
+        collapsed = repro.compile(
+            mlp_bundle.graph, "pipeline:1:1f1b:1/single", MACHINE
+        )
+        direct = repro.compile(mlp_bundle.graph, "single", MACHINE)
+        assert collapsed.strategy == direct.strategy == single()
+        assert collapsed.iteration_time == direct.iteration_time
+
+    def test_swap_strategy(self, mlp_bundle):
+        model = repro.compile(mlp_bundle.graph, swap(), MACHINE)
+        assert model.backend == "swap"
+        assert model.iteration_time > 0
+
+    def test_placement_strategy(self, mlp_bundle):
+        model = repro.compile(mlp_bundle.graph, "placement", MACHINE)
+        assert model.backend == "placement"
+        assert model.iteration_time > 0
+
+    def test_bare_tofu_defers_to_planner_backend(self, mlp_bundle):
+        planner = Planner(PlannerConfig(backend="spartan"))
+        model = repro.compile(
+            mlp_bundle.graph, "tofu", MACHINE, planner=planner
+        )
+        assert model.plan.algorithm == "spartan"
+        pinned = repro.compile(
+            mlp_bundle.graph, "tofu:tofu", MACHINE, planner=planner
+        )
+        assert pinned.plan.algorithm.startswith("tofu")
+
+    def test_backend_options_override(self, mlp_bundle):
+        fused = repro.compile(mlp_bundle.graph, "tofu", MACHINE)
+        unfused = repro.compile(
+            mlp_bundle.graph, "tofu", MACHINE,
+            backend_options={"fuse_remote_fetch": False},
+        )
+        assert len(unfused.program.tasks) >= len(fused.program.tasks)
+
+
+class TestAuto:
+    def test_auto_no_slower_than_tofu_on_rnn(self, rnn_bundle):
+        planner = Planner()
+        plain = repro.compile(
+            rnn_bundle.graph, "tofu", MACHINE, planner=planner
+        )
+        auto = repro.compile(
+            rnn_bundle.graph, "auto", MACHINE, planner=planner
+        )
+        assert auto.iteration_time <= plain.iteration_time
+        assert not auto.oom
+        sweep = auto.metadata["auto_sweep"]
+        assert any(entry["strategy"] == "tofu" for entry in sweep)
+
+    def test_auto_with_explicit_candidates(self, mlp_bundle):
+        model = repro.compile(
+            mlp_bundle.graph, "auto", MACHINE,
+            candidates=["single", dp(2) / tofu()],
+        )
+        assert str(model.strategy) in {"single", "dp:2/tofu"}
+        assert len(model.metadata["auto_sweep"]) == 2
+
+    def test_auto_records_failed_candidates(self, mlp_bundle):
+        model = repro.compile(
+            mlp_bundle.graph, "auto", MACHINE,
+            candidates=["single", "pipeline:128:1f1b:4"],
+        )
+        sweep = model.metadata["auto_sweep"]
+        assert any("error" in entry for entry in sweep)
+        assert str(model.strategy) == "single"
+
+    def test_auto_with_no_viable_candidate_raises(self, mlp_bundle):
+        with pytest.raises(StrategyError, match="no executable candidate"):
+            repro.compile(
+                mlp_bundle.graph, "auto", MACHINE,
+                candidates=["pipeline:128:1f1b:4"],
+            )
+
+    def test_auto_rejects_single_strategy_arguments(self, mlp_bundle):
+        with pytest.raises(StrategyError, match="simulate=False"):
+            repro.compile(mlp_bundle.graph, "auto", MACHINE, simulate=False)
+        with pytest.raises(StrategyError, match="lower_only"):
+            repro.compile(mlp_bundle.graph, "auto", MACHINE, lower_only=True)
+        with pytest.raises(StrategyError, match="backend_options"):
+            repro.compile(
+                mlp_bundle.graph, "auto", MACHINE,
+                backend_options={"fuse_remote_fetch": False},
+            )
+        plan = repro.compile(
+            mlp_bundle.graph, "tofu", MACHINE, simulate=False
+        ).plan
+        with pytest.raises(StrategyError, match="searches its own plans"):
+            repro.compile(mlp_bundle.graph, "auto", MACHINE, plan=plan)
+
+
+class TestSaveLoad:
+    def test_round_trip_plan_and_program_metadata(self, mlp_bundle, tmp_path):
+        model = repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE)
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        loaded = CompiledModel.load(path)
+        assert loaded.strategy == model.strategy
+        assert loaded.machine == model.machine
+        assert loaded.plan == model.plan
+        assert loaded.backend == model.backend
+        assert loaded.iteration_time == model.iteration_time
+        assert loaded.oom == model.oom
+        assert loaded.metadata["num_devices"] == model.program.num_devices
+        assert loaded.metadata["num_tasks"] == len(model.program.tasks)
+        assert "loaded metadata" in loaded.summary()
+
+    def test_round_trip_without_plan(self, rnn_bundle, tmp_path):
+        model = repro.compile(rnn_bundle.graph, "pipeline:2:1f1b:4", MACHINE)
+        path = str(tmp_path / "pipeline.json")
+        model.save(path)
+        loaded = CompiledModel.load(path)
+        assert loaded.plan is None
+        # compile stores the normalized strategy: the open pipeline wrapper
+        # is closed with an explicit single() leaf.
+        assert loaded.strategy == pipeline(2, "1f1b", 4) / single()
+        assert loaded.metadata["num_microbatches"] == 4
+
+    def test_load_rejects_foreign_payloads(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(StrategyError, match="not a repro-compiled-model"):
+            CompiledModel.load(str(path))
+
+
+class TestStrategyCacheKey:
+    def test_differing_strategies_never_collide(self, mlp_bundle):
+        """Regression: the cache key covers the full strategy config, so two
+        hybrid/pipeline configurations differing only in schedule or
+        micro-batch count get distinct entries."""
+        graph = mlp_bundle.graph
+        factors = factorize_workers(2)
+        base = dict(
+            graph=graph, factors=factors, machine=MACHINE,
+            backend="tofu", backend_options={},
+        )
+        keys = {
+            plan_cache_key(**base, strategy=s)
+            for s in (
+                dp(2) / pipeline(2, "1f1b", 4) / tofu(),
+                dp(2) / pipeline(2, "gpipe", 4) / tofu(),
+                dp(2) / pipeline(2, "1f1b", 8) / tofu(),
+                dp(2) / pipeline(4, "1f1b", 4) / tofu(),
+                dp(2) / tofu(),
+                None,
+            )
+        }
+        assert len(keys) == 6
+
+    def test_planner_keeps_separate_entries_per_strategy(self, mlp_bundle):
+        planner = Planner(PlannerConfig(backend="tofu"))
+        s1 = dp(2) / pipeline(2, "1f1b", 4) / tofu()
+        s2 = dp(2) / pipeline(2, "1f1b", 8) / tofu()
+        planner.plan(mlp_bundle.graph, 2, strategy=s1)
+        assert planner.cache_info()["misses"] == 1
+        planner.plan(mlp_bundle.graph, 2, strategy=s2)
+        assert planner.cache_info()["misses"] == 2  # no collision: re-searched
+        planner.plan(mlp_bundle.graph, 2, strategy=s1)
+        assert planner.cache_info()["hits"] == 1
+
+    def test_partition_graph_keeps_legacy_cache_key(self, mlp_bundle):
+        """partition_graph shares cache entries with direct Planner.plan
+        calls (no machine, no strategy in the key) — pre-PR on-disk stores
+        stay warm across the upgrade."""
+        from repro.api import partition_graph
+
+        planner = Planner()
+        partition_graph(mlp_bundle.graph, 4, planner=planner)
+        before = planner.cache_info()["hits"]
+        planner.plan(mlp_bundle.graph, 4, backend="tofu")
+        assert planner.cache_info()["hits"] == before + 1
+
+    def test_repeated_compile_hits_the_cache(self, mlp_bundle):
+        planner = Planner()
+        repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE, planner=planner)
+        before = planner.cache_info()["hits"]
+        repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE, planner=planner)
+        assert planner.cache_info()["hits"] == before + 1
+
+
+class TestLegacyDeprecation:
+    def test_backend_kwarg_warns_and_matches_strategy(self, mlp_bundle):
+        with pytest.warns(DeprecationWarning, match='strategy="tofu:spartan"'):
+            legacy = partition_and_simulate(
+                mlp_bundle.graph, 4, backend="spartan"
+            )
+        model = compile_model(mlp_bundle.graph, "tofu:spartan", num_workers=4)
+        assert legacy.result.iteration_time == model.iteration_time
+
+    def test_execution_kwargs_warn_and_match_backend_options(self, mlp_bundle):
+        with pytest.warns(DeprecationWarning, match="backend_options"):
+            legacy = partition_and_simulate(
+                mlp_bundle.graph, 4, fuse_remote_fetch=False
+            )
+        model = compile_model(
+            mlp_bundle.graph, "tofu", num_workers=4,
+            backend_options={"fuse_remote_fetch": False},
+        )
+        assert legacy.result.iteration_time == model.iteration_time
+
+    def test_default_call_does_not_warn(self, mlp_bundle):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            report = partition_and_simulate(mlp_bundle.graph, 4)
+        assert report.result.iteration_time > 0
+
+    def test_one_worker_keeps_tofu_partitioned_contract(self, mlp_bundle):
+        """Legacy parity: one worker still plans and runs tofu-partitioned
+        (the strategy lowering's single-device degeneration is compile-only),
+        and the execution kwargs stay accepted."""
+        report = partition_and_simulate(mlp_bundle.graph, 1)
+        assert report.plan is not None and report.plan.num_workers == 1
+        assert report.program.backend == "tofu-partitioned"
+        with pytest.warns(DeprecationWarning):
+            tweaked = partition_and_simulate(
+                mlp_bundle.graph, 1, fuse_remote_fetch=False
+            )
+        assert tweaked.program.backend == "tofu-partitioned"
+
+    def test_machine_mismatch_plans_against_callers_machine(self, mlp_bundle):
+        """Legacy semantics: workers=2 on an 8-device machine searches a
+        2-worker plan keyed on the caller's machine (shared cache entry)."""
+        planner = Planner()
+        machine = k80_8gpu_machine(8)
+        report = partition_and_simulate(
+            mlp_bundle.graph, 2, machine, planner=planner
+        )
+        assert report.plan.num_workers == 2
+        before = planner.cache_info()["hits"]
+        planner.plan(mlp_bundle.graph, 2, machine=machine, backend="tofu")
+        assert planner.cache_info()["hits"] == before + 1
+
+
+class TestDescribeOperatorErrors:
+    def test_unknown_operator_raises_unknown_operator_error(self):
+        with pytest.raises(UnknownOperatorError, match="no_such_operator"):
+            repro.describe_operator("no_such_operator")
+
+    def test_missing_tdl_raises_tdl_error_with_name(self):
+        from repro.ops.registry import OPS, register_op
+
+        register_op(
+            "_strategy_test_no_tdl",
+            lambda shapes, attrs: [tuple(shapes[0])],
+            category="test",
+        )
+        try:
+            with pytest.raises(TDLError, match="_strategy_test_no_tdl"):
+                repro.describe_operator("_strategy_test_no_tdl")
+        finally:
+            OPS.pop("_strategy_test_no_tdl", None)
+
+    def test_elementwise_without_tdl_raises_tdl_error_with_name(self):
+        from repro.ops.registry import OPS, register_op
+
+        register_op(
+            "_strategy_test_elementwise",
+            lambda shapes, attrs: [tuple(shapes[0])],
+            category="test",
+            elementwise=True,
+        )
+        try:
+            with pytest.raises(TDLError, match="_strategy_test_elementwise"):
+                repro.describe_operator("_strategy_test_elementwise")
+        finally:
+            OPS.pop("_strategy_test_elementwise", None)

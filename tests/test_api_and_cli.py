@@ -78,6 +78,76 @@ class TestCLI:
         for name in ("tofu", "joint", "spartan", "equalchop", "allrow-greedy"):
             assert name in out
 
+    def test_backends_and_executors_enumerate_strategy_combinators(self, capsys):
+        for command in ("backends", "executors"):
+            assert cli_main([command]) == 0
+            out = capsys.readouterr().out
+            assert "strategy combinators" in out
+            for keyword in ("dp:", "pipeline:", "single", "swap", "placement"):
+                assert keyword in out
+
+    def test_compile_command(self, capsys):
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "dp:2/tofu"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy: dp:2/tofu" in out
+        assert "throughput" in out
+
+    def test_compile_command_backend_flag_reaches_the_search(self, capsys):
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "tofu", "--backend", "spartan"]) == 0
+        out = capsys.readouterr().out
+        assert "algorithm=spartan" in out
+
+    def test_compile_command_dry_run(self, capsys):
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "dp:2/pipeline:2:1f1b:4/tofu",
+                         "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "executor: hybrid" in out
+        assert "replica_groups=2" in out
+        assert "throughput" not in out  # dry run: no simulation
+
+    def test_compile_command_auto_dry_run_lists_candidates(self, capsys):
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "auto", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate sweep" in out
+        assert "dp:2/tofu" in out
+
+    def test_compile_command_save(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "tofu", "--save", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "saved:" in out
+        from repro.compiler import CompiledModel
+
+        loaded = CompiledModel.load(str(path))
+        assert loaded.plan is not None
+
+    def test_compile_command_rejects_dry_run_with_save(self, tmp_path, capsys):
+        path = tmp_path / "model.json"
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "tofu", "--dry-run",
+                         "--save", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "--save" in err and "--dry-run" in err
+        assert not path.exists()
+
+    def test_compile_command_rejects_bad_strategy(self, capsys):
+        assert cli_main(["compile", "--model", "mlp", "--batch", "32",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--strategy", "frobnicate"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown strategy combinator" in err
+
     def test_partition_command_with_every_backend(self, capsys):
         from repro.planner import available_backends
 

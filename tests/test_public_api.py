@@ -1,0 +1,145 @@
+"""Public-API snapshot: the exported surface of the top-level packages.
+
+Accidentally dropping (or silently adding) a public name is an API break for
+downstream users; this test pins the ``__all__`` of ``repro``,
+``repro.strategy``, ``repro.planner`` and ``repro.runtime`` against a
+checked-in list so CI fails on any unreviewed change.  When a change is
+intentional, update the snapshot here *and* the README migration notes.
+"""
+
+import importlib
+
+import pytest
+
+REPRO_EXPORTS = [
+    "CompiledModel",
+    "ExecutionError",
+    "Executor",
+    "ExecutorConfig",
+    "GraphError",
+    "LoweredProgram",
+    "NoStrategyError",
+    "NonAffineError",
+    "OutOfMemoryError",
+    "PartitionError",
+    "Planner",
+    "PlannerConfig",
+    "ReproError",
+    "ShapeError",
+    "SimulationError",
+    "SimulationReport",
+    "Strategy",
+    "StrategyError",
+    "TDLError",
+    "__version__",
+    "available_backends",
+    "available_execution_backends",
+    "compile",
+    "compile_model",
+    "default_executor",
+    "default_planner",
+    "describe_operator",
+    "dp",
+    "parse_strategy",
+    "partition_and_simulate",
+    "partition_graph",
+    "pipeline",
+    "placement",
+    "register_backend",
+    "register_execution_backend",
+    "single",
+    "swap",
+    "tofu",
+]
+
+STRATEGY_EXPORTS = [
+    "PIPELINE_SCHEDULES",
+    "Strategy",
+    "StrategyLowering",
+    "auto_candidates",
+    "combinator_descriptions",
+    "combinator_names",
+    "dp",
+    "lower_strategy",
+    "normalize",
+    "parse",
+    "parse_strategy",
+    "pipeline",
+    "placement",
+    "single",
+    "swap",
+    "tofu",
+    "weight_shards",
+]
+
+PLANNER_EXPORTS = [
+    "BackendSpec",
+    "PlanCache",
+    "Planner",
+    "PlannerConfig",
+    "SearchBackend",
+    "SimulationReport",
+    "available_backends",
+    "candidate_factorizations",
+    "default_planner",
+    "get_backend",
+    "graph_signature",
+    "load_entry_point_backends",
+    "machine_signature",
+    "plan_cache_key",
+    "register_backend",
+    "search_candidates",
+    "unregister_backend",
+]
+
+RUNTIME_EXPORTS = [
+    "ExecutionBackend",
+    "ExecutionBackendSpec",
+    "Executor",
+    "ExecutorConfig",
+    "LoweredProgram",
+    "SimulationReport",
+    "available_execution_backends",
+    "default_executor",
+    "get_execution_backend",
+    "load_entry_point_backends",
+    "register_execution_backend",
+    "unregister_execution_backend",
+]
+
+SNAPSHOTS = {
+    "repro": REPRO_EXPORTS,
+    "repro.strategy": STRATEGY_EXPORTS,
+    "repro.planner": PLANNER_EXPORTS,
+    "repro.runtime": RUNTIME_EXPORTS,
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SNAPSHOTS))
+def test_exported_surface_matches_snapshot(module_name):
+    module = importlib.import_module(module_name)
+    exported = sorted(module.__all__)
+    expected = sorted(SNAPSHOTS[module_name])
+    assert exported == expected, (
+        f"{module_name}.__all__ drifted from the checked-in snapshot; "
+        f"added={sorted(set(exported) - set(expected))}, "
+        f"removed={sorted(set(expected) - set(exported))} — update "
+        f"tests/test_public_api.py if this break is intentional"
+    )
+
+
+@pytest.mark.parametrize("module_name", sorted(SNAPSHOTS))
+def test_exported_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    missing = [name for name in module.__all__ if not hasattr(module, name)]
+    assert not missing, f"{module_name} exports names it does not define: {missing}"
+
+
+def test_strategy_combinators_cover_execution_styles():
+    """Every built-in execution style is reachable from the strategy algebra
+    (the CLI listings enumerate the combinators alongside the backends)."""
+    from repro.strategy import combinator_names
+
+    assert set(combinator_names()) == {
+        "tofu", "single", "placement", "swap", "dp", "pipeline",
+    }
