@@ -1,0 +1,107 @@
+"""Multi-machine scaling — iteration time vs machine count × strategy.
+
+The hierarchical topology model prices intra-machine PCI-e and the
+inter-machine network separately, so the interesting question is which
+strategy level should absorb the slow link: data parallelism across machines
+(``machines:M/dp:M/tofu`` — one all-reduce per iteration over the NIC),
+pipelining across machines (``machines:M/pipeline:M`` — one activation cut
+per boundary, steered onto the cheapest layer), or a flat cross-machine
+Tofu partition (``machines:M/tofu`` — every operator's fetch traffic pays
+the network).
+
+This benchmark sweeps machine counts on the very-large stacked-LSTM
+workload (the paper's scaling model), records simulated iteration times per
+(machine count, strategy) cell, and writes the grid as JSON
+(``bench_multi_machine.json``, or ``$REPRO_BENCH_OUTPUT`` when set) so CI
+archives the numbers alongside the pytest-benchmark artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import repro
+from common import FULL, grid, once, print_header
+from repro.models.rnn import build_rnn
+from repro.sim.device import cluster_of, k80_8gpu_machine
+
+GPUS_PER_MACHINE = 4 if FULL else 2
+MACHINE_COUNTS = grid([1, 2, 4], [1, 2])
+
+
+def _strategies(count: int):
+    strategies = {"tofu": "tofu"}
+    if count > 1:
+        strategies["machines/tofu"] = f"machines:{count}/tofu"
+        strategies["machines/dp/tofu"] = f"machines:{count}/dp:{count}/tofu"
+        strategies["machines/pipeline"] = (
+            f"machines:{count}/pipeline:{count}:1f1b:4/tofu"
+        )
+    return strategies
+
+
+def _build():
+    if FULL:
+        return build_rnn(num_layers=8, hidden_size=4096, seq_len=8,
+                         batch_size=256)
+    return build_rnn(num_layers=4, hidden_size=512, seq_len=4, batch_size=64)
+
+
+def bench_multi_machine(benchmark):
+    bundle = _build()
+    machine = k80_8gpu_machine(GPUS_PER_MACHINE)
+
+    def run():
+        rows = {}
+        for count in MACHINE_COUNTS:
+            cluster = cluster_of(machine, count)
+            cells = {}
+            for label, strategy in _strategies(count).items():
+                model = repro.compile(bundle.graph, strategy, cluster)
+                cells[label] = {
+                    "strategy": model.strategy_text,
+                    "iteration_time": model.iteration_time,
+                    "throughput": model.throughput(bundle.batch_size),
+                    "oom": model.oom,
+                    "comm_bytes": model.program.total_comm_bytes,
+                }
+            rows[count] = cells
+        return rows
+
+    rows = once(benchmark, run)
+
+    print_header(
+        f"Multi-machine scaling — {bundle.name}, "
+        f"{GPUS_PER_MACHINE} GPUs/machine (iteration time, ms)"
+    )
+    labels = sorted({label for cells in rows.values() for label in cells})
+    print(f"{'machines':<10}" + "".join(f"{label:>22}" for label in labels))
+    for count, cells in rows.items():
+        line = f"{count:<10}"
+        for label in labels:
+            cell = cells.get(label)
+            line += f"{'-':>22}" if cell is None else (
+                f"{cell['iteration_time'] * 1e3:>20.2f}ms"
+            )
+        print(line)
+
+    output = os.environ.get("REPRO_BENCH_OUTPUT", "bench_multi_machine.json")
+    with open(output, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "workload": bundle.name,
+                "gpus_per_machine": GPUS_PER_MACHINE,
+                "rows": {str(count): cells for count, cells in rows.items()},
+            },
+            fh,
+            indent=2,
+        )
+    print(f"wrote {output}")
+
+    for count, cells in rows.items():
+        for label, cell in cells.items():
+            assert not cell["oom"], f"{label} must train on {count} machine(s)"
+        if count > 1:
+            # The network-aware strategies must actually touch the network.
+            assert cells["machines/dp/tofu"]["comm_bytes"] > 0

@@ -5,10 +5,12 @@ Partitioning" (Wang, Huang, Li — EuroSys 2019).  See README.md for a guided
 tour and DESIGN.md for the system inventory.
 
 The public surface is ``repro.compile(graph, strategy=..., machine=...)``
-plus the :mod:`repro.strategy` combinator algebra (``dp``, ``pipeline``,
-``tofu``, ``single``, ``placement``, ``swap``); the :class:`Planner` and
-:class:`Executor` facades remain available for callers that need the
-subsystems directly.
+plus the :mod:`repro.strategy` combinator algebra (``machines``, ``dp``,
+``pipeline``, ``tofu``, ``single``, ``placement``, ``swap``); ``machine``
+accepts a single :class:`MachineSpec` or a hierarchical
+:class:`ClusterSpec` (``cluster_of`` / ``topology_preset`` build them).
+The :class:`Planner` and :class:`Executor` facades remain available for
+callers that need the subsystems directly.
 """
 
 import repro.ops  # noqa: F401  (registers the operator library on import)
@@ -37,9 +39,16 @@ from repro.runtime import (
     default_executor,
     register_execution_backend,
 )
+from repro.sim.device import (
+    ClusterSpec,
+    MachineSpec,
+    cluster_of,
+    topology_preset,
+)
 from repro.strategy import (
     Strategy,
     dp,
+    machines,
     parse_strategy,
     pipeline,
     placement,
@@ -64,12 +73,14 @@ from repro.errors import (
 __version__ = "0.2.0"
 
 __all__ = [
+    "ClusterSpec",
     "CompiledModel",
     "ExecutionError",
     "Executor",
     "ExecutorConfig",
     "GraphError",
     "LoweredProgram",
+    "MachineSpec",
     "NoStrategyError",
     "NonAffineError",
     "OutOfMemoryError",
@@ -86,12 +97,14 @@ __all__ = [
     "__version__",
     "available_backends",
     "available_execution_backends",
+    "cluster_of",
     "compile",
     "compile_model",
     "default_executor",
     "default_planner",
     "describe_operator",
     "dp",
+    "machines",
     "parse_strategy",
     "partition_and_simulate",
     "partition_graph",
@@ -102,4 +115,5 @@ __all__ = [
     "single",
     "swap",
     "tofu",
+    "topology_preset",
 ]

@@ -32,7 +32,19 @@ Examples::
         --stages 4 --microbatches 8 --schedule 1f1b
     tofu-repro simulate --model rnn --executor hybrid --workers 8 \\
         --replica-groups 2 --inner tofu-partitioned
+    tofu-repro compile --model rnn --machines 2 --workers 4 \\
+        --strategy machines:2/pipeline:2:1f1b:4/tofu
+    tofu-repro compile --model rnn --preset p2_8xlarge_x4 --strategy auto
+    tofu-repro cache export --cache-dir ~/.cache/tofu-plans --output plans.json
+    tofu-repro cache import --cache-dir ~/.cache/tofu-plans --input plans.json
     tofu-repro coverage
+
+Every model-building command accepts ``--machines N`` (a cluster of N
+identical K80 boxes over a 10 Gb/s network) or ``--preset <name>`` (a named
+topology such as ``p2_8xlarge_x4``); ``--workers`` is the GPU count per
+machine.  ``cache export``/``cache import`` move the on-disk plan store
+between machines — content addresses are host-independent, so bundles import
+losslessly.
 """
 
 from __future__ import annotations
@@ -54,7 +66,13 @@ from repro.runtime import (
     available_execution_backends,
     get_execution_backend,
 )
-from repro.sim.device import k80_8gpu_machine
+from repro.sim.device import (
+    TOPOLOGY_PRESETS,
+    cluster_of,
+    k80_8gpu_machine,
+    slice_topology,
+    topology_preset,
+)
 from repro.strategy import (
     auto_candidates,
     combinator_descriptions,
@@ -87,7 +105,31 @@ def _add_model_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--layers", type=int, default=3)
     parser.add_argument("--depth", type=int, default=50)
     parser.add_argument("--widen", type=int, default=4)
-    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=8,
+        help="GPUs per machine (total devices = workers x machines)",
+    )
+    parser.add_argument(
+        "--machines",
+        type=int,
+        default=1,
+        help="machines in the modelled cluster (>1 builds a ClusterSpec of "
+        "identical K80 boxes over a 10 Gb/s network)",
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(TOPOLOGY_PRESETS),
+        default=None,
+        help="named cluster topology (overrides --workers/--machines)",
+    )
+
+
+def _build_topology(args):
+    if getattr(args, "preset", None):
+        return topology_preset(args.preset)
+    return cluster_of(k80_8gpu_machine(args.workers), max(1, args.machines))
 
 
 def _add_planner_args(parser: argparse.ArgumentParser) -> None:
@@ -155,11 +197,10 @@ def cmd_executors(args) -> int:
 def cmd_partition(args) -> int:
     bundle = _build_model(args)
     planner = _make_planner(args)
+    machine = _build_topology(args)
     # Key the plan by the same machine `simulate` models, so the two commands
     # share --cache-dir entries.
-    plan = planner.plan(
-        bundle.graph, args.workers, machine=k80_8gpu_machine(args.workers)
-    )
+    plan = planner.plan(bundle.graph, machine.num_devices, machine=machine)
     print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
     print(f"backend: {args.backend}")
     print(plan.summary())
@@ -173,7 +214,8 @@ def cmd_partition(args) -> int:
 
 def cmd_simulate(args) -> int:
     bundle = _build_model(args)
-    machine = k80_8gpu_machine(args.workers)
+    machine = _build_topology(args)
+    num_devices = machine.num_devices
     executor_name = args.executor
     spec = get_execution_backend(executor_name)
     print(f"model: {bundle.name}")
@@ -183,11 +225,11 @@ def cmd_simulate(args) -> int:
         # plugin) gets a plan from the planner facade first.
         print(f"backend: {args.backend}")
         plan = _make_planner(args).plan(
-            bundle.graph, args.workers, machine=machine, backend=args.backend
+            bundle.graph, num_devices, machine=machine, backend=args.backend
         )
     options = {}
     if executor_name == "placement":
-        options["device_of_node"] = round_robin_placement(bundle, args.workers)
+        options["device_of_node"] = round_robin_placement(bundle, num_devices)
     elif executor_name == "pipeline":
         options = {
             "num_stages": args.stages,
@@ -205,12 +247,12 @@ def cmd_simulate(args) -> int:
         elif get_execution_backend(args.inner).requires_plan:
             # The inner backend partitions within one replica group, so the
             # plan is searched for the group's device count.
-            group_workers = max(1, args.workers // args.replica_groups)
+            group_workers = max(1, num_devices // args.replica_groups)
             print(f"backend: {args.backend} ({group_workers}-worker groups)")
             plan = _make_planner(args).plan(
                 bundle.graph,
                 group_workers,
-                machine=k80_8gpu_machine(group_workers),
+                machine=slice_topology(machine, group_workers),
                 backend=args.backend,
             )
     report = Executor().run(
@@ -235,7 +277,12 @@ def cmd_compile(args) -> int:
         )
         return 1
     bundle = _build_model(args)
-    machine = k80_8gpu_machine(args.workers)
+    machine = _build_topology(args)
+    if machine.num_machines > 1:
+        print(
+            f"topology: {machine.num_machines} machines x "
+            f"{machine.num_devices // machine.num_machines} GPUs"
+        )
     print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
     text = args.strategy.strip()
     strategy = text
@@ -273,6 +320,24 @@ def cmd_compile(args) -> int:
     if args.save:
         model.save(args.save)
         print(f"saved: {args.save}")
+    return 0
+
+
+def cmd_cache_export(args) -> int:
+    cache = Planner(PlannerConfig(cache_dir=args.cache_dir)).cache
+    count = cache.export_to(args.output)
+    print(f"exported {count} plan(s) from {args.cache_dir} to {args.output}")
+    return 0
+
+
+def cmd_cache_import(args) -> int:
+    cache = Planner(PlannerConfig(cache_dir=args.cache_dir)).cache
+    stats = cache.import_from(args.input, replace=args.replace)
+    print(
+        f"imported {stats['imported']} plan(s) into {args.cache_dir} "
+        f"({stats['skipped']} already present"
+        f"{'' if args.replace else ', use --replace to overwrite'})"
+    )
     return 0
 
 
@@ -371,6 +436,36 @@ def main(argv=None) -> int:
         help="inner execution backend for the hybrid executor",
     )
     p_simulate.set_defaults(func=cmd_simulate)
+
+    p_cache = sub.add_parser(
+        "cache", help="share the on-disk plan cache across machines"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_export = cache_sub.add_parser(
+        "export", help="bundle a --cache-dir store into one JSON file"
+    )
+    p_cache_export.add_argument(
+        "--cache-dir", required=True, help="plan-cache directory to export"
+    )
+    p_cache_export.add_argument(
+        "--output", required=True, help="bundle file to write"
+    )
+    p_cache_export.set_defaults(func=cmd_cache_export)
+    p_cache_import = cache_sub.add_parser(
+        "import", help="merge an exported bundle into a --cache-dir store"
+    )
+    p_cache_import.add_argument(
+        "--cache-dir", required=True, help="plan-cache directory to import into"
+    )
+    p_cache_import.add_argument(
+        "--input", required=True, help="bundle file written by `cache export`"
+    )
+    p_cache_import.add_argument(
+        "--replace",
+        action="store_true",
+        help="overwrite entries already present in the store",
+    )
+    p_cache_import.set_defaults(func=cmd_cache_import)
 
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
     p_coverage.set_defaults(func=cmd_coverage)

@@ -19,8 +19,10 @@ entry).
 
 ``strategy="auto"`` sweeps a bounded set of composed strategies
 (:func:`repro.strategy.auto_candidates` — replica-group counts × stage
-counts × the tofu leaf) and keeps the best simulated iteration time; plain
-``tofu()`` is always in the set, so ``auto`` is never slower than it.
+counts × the tofu leaf, plus ``machines(M)`` scopes on a multi-machine
+:class:`repro.sim.device.ClusterSpec`) and keeps the best simulated
+iteration time; plain ``tofu()`` is always in the set, so ``auto`` is never
+slower than it.
 """
 
 from __future__ import annotations
@@ -38,12 +40,13 @@ from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
 from repro.runtime.core import Executor, SimulationReport
 from repro.runtime.program import LoweredProgram
 from repro.sim.device import (
-    MachineSpec,
+    Topology,
+    cluster_of,
     k80_8gpu_machine,
     machine_from_dict,
     machine_to_dict,
 )
-from repro.strategy.algebra import Strategy, parse
+from repro.strategy.algebra import Machines, Strategy, parse
 from repro.strategy.auto import auto_candidates
 from repro.strategy.lowering import lower_strategy
 
@@ -73,7 +76,7 @@ class CompiledModel:
     """
 
     strategy: Strategy
-    machine: MachineSpec
+    machine: Topology
     plan: Optional[PartitionPlan] = None
     program: Optional[LoweredProgram] = None
     report: Optional[SimulationReport] = None
@@ -216,10 +219,18 @@ class CompiledModel:
 
 
 def _resolve_machine(
-    machine: Optional[MachineSpec], num_workers: Optional[int]
-) -> MachineSpec:
+    machine: Optional[Topology],
+    num_workers: Optional[int],
+    strategy: Optional[Strategy] = None,
+) -> Topology:
     if machine is None:
-        return k80_8gpu_machine(num_workers if num_workers else 8)
+        # A machines(M)-rooted strategy defaults to M of the paper's boxes
+        # over the default network fabric; num_workers sizes each box.
+        count = 1
+        if strategy is not None and isinstance(strategy, Machines):
+            count = strategy.count
+        base = k80_8gpu_machine(num_workers if num_workers else 8)
+        return cluster_of(base, count)
     if num_workers is not None and num_workers != machine.num_devices:
         raise StrategyError(
             f"num_workers={num_workers} contradicts the machine's "
@@ -253,7 +264,7 @@ def _program_metadata(
 def compile(
     graph: Graph,
     strategy: Union[Strategy, str] = "tofu",
-    machine: Optional[MachineSpec] = None,
+    machine: Optional[Topology] = None,
     *,
     num_workers: Optional[int] = None,
     plan: Optional[PartitionPlan] = None,
@@ -275,10 +286,13 @@ def compile(
             ``plan=...``, ``simulate=False`` and ``backend_options`` (they
             are single-strategy concerns); ``plan_options`` apply to every
             candidate's search.
-        machine: Machine model; defaults to the paper's 8×K80 box (sized to
-            ``num_workers`` when given).
-        num_workers: Shorthand for the default machine's device count;
-            rejected if it contradicts an explicit ``machine``.
+        machine: Machine or cluster model (:class:`MachineSpec` /
+            :class:`ClusterSpec`); defaults to the paper's 8×K80 box, sized
+            to ``num_workers`` when given — or, for a ``machines(M)``-rooted
+            strategy, a cluster of ``M`` such boxes.
+        num_workers: Shorthand for the default machine's device count (per
+            machine, under a ``machines(M)`` root); rejected if it
+            contradicts an explicit ``machine``.
         plan: Pre-searched partition plan for the strategy's ``tofu`` leaf
             (skips planning).
         planner: Planner to search (and cache) plans with; defaults to the
@@ -303,8 +317,8 @@ def compile(
     """
     from repro.planner.core import default_planner
 
-    machine = _resolve_machine(machine, num_workers)
     if isinstance(strategy, str) and strategy.strip().lower() == "auto":
+        machine = _resolve_machine(machine, num_workers)
         if plan is not None:
             raise StrategyError(
                 "strategy='auto' searches its own plans; pass an explicit "
@@ -334,14 +348,17 @@ def compile(
         raise StrategyError(
             f"strategy must be a Strategy or string, got {type(strategy).__name__}"
         )
+    machine = _resolve_machine(machine, num_workers, strategy)
     lowering = lower_strategy(strategy, machine, graph=graph)
+    # machines(M) narrows the topology; everything below executes on the slice.
+    exec_machine = lowering.machine if lowering.machine is not None else machine
 
     if plan is None and lowering.plan_workers:
         planner = planner or default_planner()
         plan = planner.plan(
             graph,
             lowering.plan_workers,
-            machine=lowering.plan_machine or machine,
+            machine=lowering.plan_machine or exec_machine,
             backend=lowering.plan_backend,
             backend_options=plan_options,
             strategy=lowering.strategy,
@@ -363,7 +380,7 @@ def compile(
         program = executor.lower(
             graph,
             plan=plan,
-            machine=machine,
+            machine=exec_machine,
             backend=lowering.backend,
             backend_options=options,
         )
@@ -378,7 +395,7 @@ def compile(
     report = executor.run(
         graph,
         plan=plan,
-        machine=machine,
+        machine=exec_machine,
         backend=lowering.backend,
         backend_options=options,
     )
@@ -402,7 +419,7 @@ compile_model = compile
 
 def _compile_auto(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     *,
     planner: Optional["Planner"],
     executor: Optional[Executor],

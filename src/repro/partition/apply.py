@@ -33,7 +33,7 @@ from repro.runtime.passes import (
     producer_deps,
     scheduled_nodes,
 )
-from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.device import Topology, as_cluster, k80_8gpu_machine
 from repro.sim.engine import Task
 
 
@@ -119,13 +119,20 @@ def per_node_communication(
 def generate_partitioned_graph(
     graph: Graph,
     plan: PartitionPlan,
-    machine: Optional[MachineSpec] = None,
+    machine: Optional[Topology] = None,
     *,
     fuse_remote_fetch: bool = True,
     add_control_dependencies: bool = True,
     spread_reduction: bool = True,
 ) -> PartitionedGraph:
-    """Generate the per-device task graph and memory estimate for ``plan``."""
+    """Generate the per-device task graph and memory estimate for ``plan``.
+
+    ``machine`` may be a :class:`MachineSpec` or a multi-machine
+    :class:`ClusterSpec`; on a cluster each device's fetch/reduce traffic is
+    split into the share gathered from machine-local peers (the device's
+    PCI-e link) and the share crossing machines (the device's machine NIC),
+    since the partition shards tensors over *every* worker uniformly.
+    """
     if machine is None:
         machine = k80_8gpu_machine(plan.num_workers)
     num_devices = plan.num_workers
@@ -155,8 +162,31 @@ def generate_partitioned_graph(
     launch_penalty = 0.0 if fuse_remote_fetch else 3 * machine.kernel_launch_overhead
 
     topo = scheduled_nodes(graph)
+    multi_machine = machine.num_machines > 1
+    cluster = as_cluster(machine) if multi_machine else None
     for device in range(num_devices):
         device_spec = machine.device(device)
+        remote_peer = None
+        if multi_machine:
+            # Shards are spread uniformly over all workers, so the share of a
+            # device's traffic staying on its machine is the fraction of
+            # workers that are machine-local peers.
+            machine_index = cluster.machine_of(device)
+            local_workers = sum(
+                1
+                for peer in cluster.devices_of_machine(machine_index)
+                if peer < num_devices
+            )
+            local_fraction = local_workers / num_devices
+            if local_workers < num_devices:
+                # Any off-machine worker names the inter-machine edge the
+                # remote share arrives over (this device's machine NIC).
+                remote_peer = next(
+                    d for d in range(num_devices)
+                    if cluster.machine_of(d) != machine_index
+                )
+        else:
+            local_fraction = 1.0
         for node in topo:
             name = node.name
             compute_name = f"{name}@{device}"
@@ -173,15 +203,25 @@ def generate_partitioned_graph(
 
             comm_total = node_fetch + node_reduce_dev
             if comm_total > 0.0 and producers:
-                fetch_name = f"{name}@{device}:fetch"
                 # Remote regions come from every peer: the fetch waits for the
                 # producers on all devices (a conservative synchronisation).
                 fetch_deps = [f"{p}@{d}" for p in producers for d in range(num_devices)]
-                tasks[fetch_name] = make_comm_task(
-                    fetch_name, device, comm_total,
-                    channel="p2p", deps=fetch_deps,
-                )
-                deps.append(fetch_name)
+                fetch_name = f"{name}@{device}:fetch"
+                local_bytes = comm_total * local_fraction
+                if local_bytes > 0.0:
+                    tasks[fetch_name] = make_comm_task(
+                        fetch_name, device, local_bytes,
+                        channel="p2p", deps=fetch_deps,
+                    )
+                    deps.append(fetch_name)
+                remote_bytes = comm_total - local_bytes
+                if remote_bytes > 0.0 and remote_peer is not None:
+                    net_name = f"{name}@{device}:netfetch"
+                    tasks[net_name] = make_comm_task(
+                        net_name, device, remote_bytes, deps=fetch_deps,
+                        topology=cluster, src=remote_peer, dst=device,
+                    )
+                    deps.append(net_name)
             deps.extend(f"{p}@{device}" for p in producers)
 
             tasks[compute_name] = make_compute_task(

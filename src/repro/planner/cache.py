@@ -37,7 +37,7 @@ from repro.errors import ReproError
 from repro.graph.graph import Graph
 from repro.graph.serialization import graph_to_dict
 from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
-from repro.sim.device import MachineSpec
+from repro.sim.device import Topology
 
 
 def graph_signature(graph: Graph) -> str:
@@ -46,8 +46,11 @@ def graph_signature(graph: Graph) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def machine_signature(machine: Optional[MachineSpec]) -> str:
-    """Content hash of a machine model (``"no-machine"`` when unspecified)."""
+def machine_signature(machine: Optional[Topology]) -> str:
+    """Content hash of a machine or cluster model (``"no-machine"`` when
+    unspecified) — a one-machine cluster and its bare machine hash
+    differently, as do clusters differing only in machine count or network
+    parameters."""
     if machine is None:
         return "no-machine"
     payload = json.dumps(
@@ -59,7 +62,7 @@ def machine_signature(machine: Optional[MachineSpec]) -> str:
 def plan_cache_key(
     graph: Graph,
     factors: Sequence[int],
-    machine: Optional[MachineSpec],
+    machine: Optional[Topology],
     backend: str,
     backend_options: Mapping[str, object],
     *,
@@ -95,6 +98,10 @@ def plan_cache_key(
         fields["strategy"] = to_dict() if callable(to_dict) else strategy
     payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+EXPORT_FORMAT = "tofu-plan-cache"
+EXPORT_VERSION = 1
 
 
 class PlanCache:
@@ -161,6 +168,79 @@ class PlanCache:
         payload = plan_to_dict(plan)
         self._memory_put(key, payload)
         self._disk_put(key, payload)
+
+    # --------------------------------------------------------- export/import
+    def export_to(self, path: str) -> int:
+        """Bundle every on-disk plan entry into one JSON file at ``path``.
+
+        Content addresses are host-independent (graph × factorisation ×
+        machine × backend config, all canonically encoded), so a bundle
+        exported on one machine imports losslessly on another — the
+        cross-machine cache sharing the planner's content addressing was
+        designed for.  Returns the number of exported entries; requires a
+        disk tier.
+        """
+        if not self.cache_dir:
+            raise ReproError(
+                "plan-cache export needs a disk tier (configure cache_dir)"
+            )
+        entries: Dict[str, Dict] = {}
+        for file_path, _, _ in self._disk_entries():
+            try:
+                with open(file_path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+                entries[entry["key"]] = entry["plan"]
+            except (OSError, ValueError, KeyError):
+                continue  # unreadable/corrupt entries are skipped, not fatal
+        bundle = {
+            "format": EXPORT_FORMAT,
+            "version": EXPORT_VERSION,
+            "entries": entries,
+        }
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def import_from(self, path: str, *, replace: bool = False) -> Dict[str, int]:
+        """Merge a bundle written by :meth:`export_to` into the disk store.
+
+        Existing entries are kept unless ``replace=True`` (content addresses
+        make key collisions equal-plan collisions, so keeping is safe).
+        Returns ``{"imported": ..., "skipped": ...}``; requires a disk tier.
+        """
+        if not self.cache_dir:
+            raise ReproError(
+                "plan-cache import needs a disk tier (configure cache_dir)"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                bundle = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"plan-cache bundle {path!r} is not readable JSON: {exc}"
+            ) from exc
+        if bundle.get("format") != EXPORT_FORMAT:
+            raise ReproError(
+                f"{path!r} is not a {EXPORT_FORMAT} bundle "
+                f"(format={bundle.get('format')!r})"
+            )
+        if bundle.get("version") != EXPORT_VERSION:
+            raise ReproError(
+                f"unsupported plan-cache bundle version "
+                f"{bundle.get('version')!r} (this library reads version "
+                f"{EXPORT_VERSION})"
+            )
+        imported = skipped = 0
+        for key, payload in (bundle.get("entries") or {}).items():
+            if not replace and os.path.exists(self._path(key)):
+                skipped += 1
+                continue
+            self._disk_put(key, payload)
+            imported += 1
+        return {"imported": imported, "skipped": skipped}
 
     def clear(self) -> None:
         """Empty both tiers (memory and, when configured, the disk store)."""

@@ -27,7 +27,7 @@ from repro.planner.backends import get_backend
 from repro.planner.cache import PlanCache, plan_cache_key
 from repro.planner.parallel import candidate_factorizations, search_candidates
 from repro.runtime.core import Executor, SimulationReport
-from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.device import Topology, k80_8gpu_machine
 
 __all__ = [
     "Planner",
@@ -89,7 +89,7 @@ class Planner:
         graph: Graph,
         num_workers: int,
         *,
-        machine: Optional[MachineSpec] = None,
+        machine: Optional[Topology] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Mapping[str, object]] = None,
         strategy: Optional[object] = None,
@@ -153,7 +153,7 @@ class Planner:
         self,
         graph: Graph,
         num_workers: int = 8,
-        machine: Optional[MachineSpec] = None,
+        machine: Optional[Topology] = None,
         *,
         plan: Optional[PartitionPlan] = None,
         backend: Optional[str] = None,

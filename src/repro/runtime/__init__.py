@@ -18,9 +18,11 @@ Liveness + memory planning   Sec 6 — static buffer reuse under control
 Kernel-time costing          Sec 7.1 — the simulated K80 roofline that
                              prices each sharded kernel
 Comm-task emission           Sec 6 — remote fetch (MultiFetch) and
-                             spread-out reduction traffic; PCI-e vs shared
-                             CPU link channels of Sec 7.1
-Simulation                   Sec 7 — one training iteration under link
+                             spread-out reduction traffic, priced by the
+                             link each transfer crosses (PCI-e / shared CPU
+                             link of Sec 7.1, or the inter-machine network
+                             of a hierarchical ``ClusterSpec``)
+Simulation                   Sec 7 — one training iteration under per-link
                              contention (:mod:`repro.sim.engine`)
 ===========================  ==============================================
 

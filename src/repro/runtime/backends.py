@@ -28,7 +28,7 @@ Third-party backends can also be registered through the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ExecutionError
@@ -47,7 +47,12 @@ from repro.runtime.passes import (
     stage_memory_report,
 )
 from repro.runtime.program import LoweredProgram
-from repro.sim.device import MachineSpec
+from repro.sim.device import (
+    MachineSpec,
+    Topology,
+    slice_topology,
+    slice_topology_range,
+)
 from repro.sim.engine import HOST_DEVICE, Task
 from repro.sim.swap import swap_residency_schedule
 
@@ -151,9 +156,37 @@ def available_execution_backends() -> List[str]:
 # ---------------------------------------------------------------------------
 # Built-in backends
 # ---------------------------------------------------------------------------
+def _ring_reduce_task(
+    name: str,
+    topology: Topology,
+    device: int,
+    neighbour: int,
+    reduce_bytes: float,
+    *,
+    deps: Sequence[str],
+) -> Task:
+    """One device's share of a ring all-reduce.
+
+    In a ring each device sends every step over the same edge — the one
+    towards its neighbour — so the whole per-device volume is priced on that
+    single link: the device's own PCI-e link when the neighbour shares its
+    machine (the flat model's accounting, bit-identical on one machine), the
+    destination machine's network NIC when the ring wraps across machines.
+    """
+    if (
+        topology.num_machines > 1
+        and topology.machine_of(device) != topology.machine_of(neighbour)
+    ):
+        return make_comm_task(
+            name, device, reduce_bytes, deps=deps,
+            topology=topology, src=device, dst=neighbour,
+        )
+    return make_comm_task(name, device, reduce_bytes, channel="p2p", deps=deps)
+
+
 def lower_single_device(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     device: int = 0,
@@ -207,13 +240,14 @@ def placement_memory_report(
 
 def lower_placement(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     device_of_node: Optional[Mapping[str, int]] = None,
 ) -> LoweredProgram:
     """Operator-placement execution: each node runs on its assigned device and
-    tensors crossing devices are copied over PCI-e."""
+    tensors crossing devices are copied over the link between them (PCI-e
+    within a machine, the network across machines)."""
     if device_of_node is None:
         raise ExecutionError(
             "execution backend 'placement' needs a device_of_node mapping "
@@ -238,7 +272,8 @@ def lower_placement(
                     copy_bytes = float(graph.tensor(tensor).size_bytes())
                     tasks[copy_name] = make_comm_task(
                         copy_name, device, copy_bytes,
-                        channel="p2p", deps=[producer],
+                        deps=[producer],
+                        topology=machine, src=producer_device, dst=device,
                     )
                     total_comm += copy_bytes
                 deps.append(copy_name)
@@ -257,13 +292,14 @@ def lower_placement(
 
 def lower_data_parallel(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     weight_bytes: Optional[float] = None,
 ) -> LoweredProgram:
     """Data-parallel execution: every device runs the full graph on 1/k of the
-    batch and gradients are all-reduced over PCI-e."""
+    batch and gradients are ring-all-reduced — over PCI-e within a machine,
+    over the network when a device's ring neighbour sits on another machine."""
     num = machine.num_devices
     if weight_bytes is None:
         weight_bytes = float(graph.weight_bytes())
@@ -280,12 +316,12 @@ def lower_data_parallel(
                 deps=deps, scale=scale, task_name=f"{node.name}@{device}",
             )
         # Ring all-reduce of the gradients: 2 * (k-1)/k of the weight bytes
-        # traverse each device's link.
+        # traverse the link towards each device's ring neighbour.
         last_node = list(graph.nodes)[-1]
         reduce_bytes = 2.0 * (num - 1) / num * weight_bytes
-        tasks[f"allreduce@{device}"] = make_comm_task(
-            f"allreduce@{device}", device, reduce_bytes,
-            channel="p2p", deps=[f"{last_node}@{device}"],
+        tasks[f"allreduce@{device}"] = _ring_reduce_task(
+            f"allreduce@{device}", machine, device, (device + 1) % num,
+            reduce_bytes, deps=[f"{last_node}@{device}"],
         )
         total_comm += reduce_bytes
     memory = device_memory_report(graph, range(num))
@@ -300,7 +336,7 @@ def lower_data_parallel(
 
 def lower_swap(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     device_index: int = 0,
@@ -377,7 +413,7 @@ def lower_swap(
 
 def lower_tofu_partitioned(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     fuse_remote_fetch: bool = True,
@@ -416,13 +452,14 @@ def lower_tofu_partitioned(
 
 def lower_pipeline(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     num_stages: Optional[int] = None,
     num_microbatches: int = 4,
     schedule: str = "1f1b",
     check_memory: bool = True,
+    topology_aware: bool = True,
 ) -> LoweredProgram:
     """Pipeline-parallel execution: contiguous layer stages, micro-batched.
 
@@ -430,13 +467,17 @@ def lower_pipeline(
     (balanced over the kernel-cost pass, one stage per device) and each
     iteration is split into ``num_microbatches`` micro-batches whose compute
     shrinks to ``1/M`` of the full-batch kernels.  Activations and gradients
-    crossing a stage boundary travel as PCI-e peer-to-peer transfers, and the
+    crossing a stage boundary travel over the link between the two stages'
+    devices (PCI-e within a machine, the network across machines), and the
     chosen ``schedule`` (``"gpipe"`` or ``"1f1b"``) is emitted as
     stage-ordering control dependencies, so the simulator replays exactly
     that slot order and its idle time is the pipeline bubble.
 
-    With one stage and one micro-batch this degenerates to single-device
-    execution (the parity the tests pin down).
+    On a multi-machine topology the stages spread across the machines and
+    the stage-assignment DP scores candidate layer cuts against the link
+    they cross (``topology_aware=False`` reverts to the flat compute-balance
+    split, for ablation).  With one stage and one micro-batch this
+    degenerates to single-device execution (the parity the tests pin down).
     """
     if num_microbatches < 1:
         raise ExecutionError("pipeline needs at least one micro-batch")
@@ -449,7 +490,11 @@ def lower_pipeline(
             f"pipeline wants {num_stages} stages on a machine with "
             f"{machine.num_devices} devices"
         )
-    stages = assign_pipeline_stages(graph, machine, num_stages, layer_of=layer_of)
+    stages = assign_pipeline_stages(
+        graph, machine, num_stages,
+        layer_of=layer_of, topology_aware=topology_aware,
+    )
+    stage_devices = stages.stage_devices
     sched = pipeline_schedule(num_stages, num_microbatches, style=schedule)
 
     topo = scheduled_nodes(graph)
@@ -486,7 +531,8 @@ def lower_pipeline(
         if producer is None:
             return None
         ref = task_ref(producer, microbatch)
-        if stages.stage_of_node[producer] == stage:
+        producer_stage = stages.stage_of_node[producer]
+        if producer_stage == stage:
             return ref
         # Cross-stage tensors are per-micro-batch activations/gradients; the
         # copy is shared by every consumer of (tensor, stage, micro-batch),
@@ -495,7 +541,10 @@ def lower_pipeline(
         if copy_name not in tasks:
             copy_bytes = float(graph.tensor(tensor).size_bytes()) * scale
             tasks[copy_name] = make_comm_task(
-                copy_name, stage, copy_bytes, channel="p2p", deps=[ref]
+                copy_name, stage_devices[stage], copy_bytes, deps=[ref],
+                topology=machine,
+                src=stage_devices[producer_stage],
+                dst=stage_devices[stage],
             )
             comm_total[0] += copy_bytes
         return copy_name
@@ -522,8 +571,9 @@ def lower_pipeline(
             dep = dep_for_input(tensor, stage, microbatch)
             if dep is not None:
                 deps.append(dep)
+        device = stage_devices[stage]
         task = make_compute_task(
-            graph, node.name, stage, machine.device(stage), machine,
+            graph, node.name, device, machine.device(device), machine,
             deps=deps, scale=node_scale, task_name=name,
         )
         if prev_of_stage[stage] is not None:
@@ -542,12 +592,24 @@ def lower_pipeline(
         for node in opt_of_stage[stage]:
             emit_compute(node, stage, -1, 1.0)
 
-    memory = stage_memory_report(
+    stage_memory = stage_memory_report(
         graph,
         stages.stage_of_node,
         num_stages,
         num_microbatches=num_microbatches,
         schedule=sched,
+    )
+    # Key the memory report by the device each stage occupies (identical to
+    # the stage index on one machine).
+    memory = {
+        stage_devices[stage]: required
+        for stage, required in stage_memory.items()
+    }
+    cross_machine_cuts = sum(
+        1
+        for stage in range(1, num_stages)
+        if machine.machine_of(stage_devices[stage - 1])
+        != machine.machine_of(stage_devices[stage])
     )
     return LoweredProgram(
         backend="pipeline",
@@ -563,6 +625,7 @@ def lower_pipeline(
             "stage_cost_spread": (
                 max(stages.stage_costs) - min(stages.stage_costs)
             ),
+            "cross_machine_boundaries": float(cross_machine_cuts),
         },
         num_microbatches=num_microbatches,
         stage_of_node=stages.stage_of_node,
@@ -572,7 +635,7 @@ def lower_pipeline(
 
 def lower_hybrid(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     plan=None,
     *,
     replica_groups: int = 2,
@@ -582,11 +645,17 @@ def lower_hybrid(
 ) -> LoweredProgram:
     """Hybrid data+model parallelism: replica groups × an inner backend.
 
-    The machine's devices split into ``replica_groups`` equal groups; each
+    The topology's devices split into ``replica_groups`` equal groups; each
     group runs the ``inner`` execution backend (Tofu partitioning, pipeline,
     …) on ``1/G`` of the batch, and the gradients are ring-all-reduced across
     groups at the end of the iteration (``2 (G-1)/G`` of each device's weight
-    shard traverses its PCI-e link).  Per-group compute and communication are
+    shard traverses the link towards its ring neighbour — its own PCI-e link
+    when the neighbour group shares the machine, the network NIC when the
+    ring hops across machines, so intra- and inter-machine hops are priced
+    separately on a cluster).  On a multi-machine topology each group's
+    inner program is lowered on that group's own machine slice, so a group
+    straddling a machine boundary prices its internal traffic over the
+    boundary it actually crosses.  Per-group compute and communication are
     scaled by ``1/G``, assuming batch-proportional kernels; per-device memory
     keeps the inner report (weights dominate, and activation savings are left
     as headroom).  With one replica group the inner program is returned
@@ -621,7 +690,7 @@ def lower_hybrid(
             f"hybrid plan was searched for {plan.num_workers} workers but "
             f"each replica group has {group_devices} devices"
         )
-    sub_machine = replace(machine, devices=list(machine.devices[:group_devices]))
+    sub_machine = slice_topology(machine, group_devices)
     program = inner_spec.lower(graph, sub_machine, plan, **options)
     stats = dict(program.stats)
     stats["replica_groups"] = float(groups)
@@ -643,27 +712,62 @@ def lower_hybrid(
         )
 
     scale = 1.0 / groups
-    referenced = set()
-    for task in program.tasks.values():
-        referenced.update(task.deps)
-        referenced.update(task.after)
-    sinks = [name for name in program.tasks if name not in referenced]
-
     tasks: Dict[str, Task] = {}
     memory: Dict[int, int] = {}
-    total_comm = program.total_comm_bytes  # 1/G per group × G groups
+    multi_machine = machine.num_machines > 1
+    # On one machine every group runs group 0's program at 1/G, so the
+    # aggregate volume is exactly the inner program's (1/G per group × G
+    # groups — the pre-cluster accounting, kept bit-identical).
+    total_comm = 0.0 if multi_machine else program.total_comm_bytes
     if weight_bytes is None:
         weight_bytes = float(graph.weight_bytes())
     # Ring all-reduce of each device's weight shard across the G groups.
     reduce_bytes = 2.0 * (groups - 1) / groups * weight_bytes / group_devices
     for group in range(groups):
         offset = group * group_devices
+        if group == 0 or not multi_machine:
+            # One machine: every group slice is structurally identical, so
+            # group 0's program clones exactly (the pre-cluster accounting).
+            group_program = program
+        else:
+            # On a cluster a group may straddle a machine boundary group 0
+            # does not have (or sit on a different machine entirely), so its
+            # transfers cross different links — lower the inner backend on
+            # the group's own topology slice instead of cloning group 0's.
+            group_machine = slice_topology_range(
+                machine, offset, group_devices
+            )
+            group_program = inner_spec.lower(graph, group_machine, plan, **options)
+        if multi_machine:
+            total_comm += group_program.total_comm_bytes * scale
 
         def shifted(device: int) -> int:
             return device if device == HOST_DEVICE else device + offset
 
-        for name, task in program.tasks.items():
+        referenced = set()
+        for task in group_program.tasks.values():
+            referenced.update(task.deps)
+            referenced.update(task.after)
+        group_sinks = [
+            f"{name}@grp{group}"
+            for name in group_program.tasks
+            if name not in referenced
+        ]
+
+        for name, task in group_program.tasks.items():
             clone = f"{name}@grp{group}"
+            # A link-resolved transfer re-resolves on the full topology (the
+            # group program numbers devices locally); channel-named
+            # transfers shift implicitly, since the simulator resolves them
+            # from the cloned task's device.
+            link = src = dst = None
+            if task.link is not None and task.src_device is not None:
+                src = shifted(task.src_device)
+                dst = shifted(
+                    task.dst_device if task.dst_device is not None
+                    else task.device
+                )
+                link = machine.link_between(src, dst)
             tasks[clone] = Task(
                 name=clone,
                 device=shifted(task.device),
@@ -673,16 +777,20 @@ def lower_hybrid(
                 channel=task.channel,
                 deps=[f"{dep}@grp{group}" for dep in task.deps],
                 after=[f"{dep}@grp{group}" for dep in task.after],
+                link=link,
+                src_device=src,
+                dst_device=dst,
             )
-        group_sinks = [f"{name}@grp{group}" for name in sinks]
+        neighbour_offset = ((group + 1) % groups) * group_devices
         for local_device in range(group_devices):
             reduce_name = f"allreduce@d{local_device}@grp{group}"
-            tasks[reduce_name] = make_comm_task(
-                reduce_name, offset + local_device, reduce_bytes,
-                channel="p2p", deps=group_sinks,
+            tasks[reduce_name] = _ring_reduce_task(
+                reduce_name, machine,
+                offset + local_device, neighbour_offset + local_device,
+                reduce_bytes, deps=group_sinks,
             )
             total_comm += reduce_bytes
-        for device, required in program.per_device_memory.items():
+        for device, required in group_program.per_device_memory.items():
             key = shifted(device)
             if device == HOST_DEVICE:
                 memory[key] = memory.get(key, 0) + required
@@ -756,6 +864,7 @@ register_execution_backend(
         description="GPipe/1F1B micro-batch pipeline over contiguous layer stages",
         option_names=(
             "num_stages", "num_microbatches", "schedule", "check_memory",
+            "topology_aware",
         ),
     )
 )

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Mapping, Optional
 from repro.graph.graph import Graph
 from repro.runtime.backends import get_execution_backend
 from repro.runtime.program import LoweredProgram
-from repro.sim.device import MachineSpec, k80_8gpu_machine
+from repro.sim.device import Topology, k80_8gpu_machine
 from repro.sim.engine import SimResult, TaskGraphSimulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
@@ -122,8 +122,8 @@ class Executor:
         self.config = config or ExecutorConfig()
 
     def _resolve_machine(
-        self, machine: Optional[MachineSpec], plan: Optional["PartitionPlan"]
-    ) -> MachineSpec:
+        self, machine: Optional[Topology], plan: Optional["PartitionPlan"]
+    ) -> Topology:
         if machine is not None:
             return machine
         if plan is not None:
@@ -136,7 +136,7 @@ class Executor:
         graph: Graph,
         *,
         plan: Optional["PartitionPlan"] = None,
-        machine: Optional[MachineSpec] = None,
+        machine: Optional[Topology] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Mapping[str, object]] = None,
     ) -> LoweredProgram:
@@ -160,7 +160,7 @@ class Executor:
     def simulate(
         self,
         program: LoweredProgram,
-        machine: Optional[MachineSpec] = None,
+        machine: Optional[Topology] = None,
         *,
         check_memory: Optional[bool] = None,
     ) -> SimResult:
@@ -187,7 +187,7 @@ class Executor:
         graph: Graph,
         *,
         plan: Optional["PartitionPlan"] = None,
-        machine: Optional[MachineSpec] = None,
+        machine: Optional[Topology] = None,
         backend: Optional[str] = None,
         backend_options: Optional[Mapping[str, object]] = None,
     ) -> SimulationReport:

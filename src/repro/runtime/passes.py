@@ -13,13 +13,21 @@ did) makes each stage independently testable and reusable:
   reports per-device peak bytes.
 * **Kernel-time costing** — :func:`make_compute_task` prices a node with the
   roofline cost model (Sec 7.1) and emits its compute task.
-* **Comm-task emission** — :func:`make_comm_task` emits a transfer on a
-  validated channel (PCI-e peer-to-peer or the shared CPU link, Sec 7.1).
+* **Comm-task emission** — :func:`make_comm_task` emits a transfer priced by
+  the actual edge it crosses: given the topology and the transfer's
+  endpoints it resolves the :class:`repro.sim.device.Link`
+  (intra-machine PCI-e, shared CPU link, or the inter-machine network) via
+  ``link_between``; the legacy channel spelling remains for single-machine
+  emitters.
 * **Stage assignment** — :func:`full_layer_assignment` extends the model
   builders' forward-layer annotation to backward/optimiser nodes, and
   :func:`assign_pipeline_stages` groups contiguous layers into pipeline
   stages balanced by the kernel-cost pass (the critical-path motivation of
-  Mayer et al.'s scheduling study).
+  Mayer et al.'s scheduling study).  On a multi-machine topology the stages
+  are placed across machines (:func:`pipeline_stage_devices`) and the DP
+  additionally scores each candidate cut by the cost of moving the boundary
+  tensors over the link it crosses, so cross-machine cuts land on cheap
+  edges.
 * **Micro-batch scheduling** — :func:`pipeline_schedule` emits the per-stage
   slot order of a GPipe or 1F1B pipeline, and :func:`stage_memory_report`
   prices each stage's peak memory under that schedule's in-flight
@@ -31,14 +39,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import ExecutionError, SimulationError
+from repro.errors import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.memory_planner import MemoryPlan, plan_memory
 from repro.graph.node import OpNode
 from repro.graph.scheduler import liveness, topo_schedule  # noqa: F401  (re-export)
 from repro.sim.costmodel import node_kernel_time
-from repro.sim.device import DeviceSpec, MachineSpec
-from repro.sim.engine import CHANNELS, Task
+from repro.sim.device import DeviceSpec, MachineSpec, Topology
+from repro.sim.engine import CHANNELS, Task, validate_channel  # noqa: F401
 
 
 def scheduled_nodes(graph: Graph) -> List[OpNode]:
@@ -94,13 +102,41 @@ def make_comm_task(
     *,
     channel: str = "p2p",
     deps: Sequence[str] = (),
+    topology: Optional[Topology] = None,
+    src: Optional[int] = None,
+    dst: Optional[int] = None,
 ) -> Task:
-    """Comm-task emission pass: one transfer on a validated channel."""
-    if channel not in CHANNELS:
-        raise SimulationError(
-            f"comm task {name!r} uses unknown channel {channel!r} "
-            f"(known: {', '.join(CHANNELS)})"
+    """Comm-task emission pass: one transfer priced by the edge it crosses.
+
+    Two spellings:
+
+    * **Link-resolved** — pass ``topology`` and the transfer's ``src``
+      device (``dst`` defaults to ``device``): the task carries the
+      :class:`repro.sim.device.Link` returned by ``link_between(src, dst)``,
+      so the simulator queues it on the actual edge (intra-machine PCI-e or
+      the inter-machine network) and prices its latency.
+    * **Channel-named** — the legacy single-machine form: ``channel`` is one
+      of the validated names in :data:`repro.sim.engine.CHANNELS` and the
+      simulator resolves it against the topology at run time.
+
+    ``device`` stays the device whose communication time the transfer is
+    accounted to, under both spellings.
+    """
+    if topology is not None and src is not None:
+        dst = device if dst is None else dst
+        link = topology.link_between(src, dst)
+        return Task(
+            name=name,
+            device=device,
+            kind="comm",
+            comm_bytes=float(comm_bytes),
+            channel=link.kind,
+            deps=list(deps),
+            link=link,
+            src_device=src,
+            dst_device=dst,
         )
+    validate_channel(name, channel)
     return Task(
         name=name,
         device=device,
@@ -190,48 +226,28 @@ def balanced_contiguous_partition(
     order so activations flow forward only, and the bottleneck stage sets the
     pipeline's steady-state rate.
     """
-    n = len(costs)
     if num_groups <= 0:
         raise ExecutionError("need at least one group")
-    if num_groups > n:
-        raise ExecutionError(
-            f"cannot split {n} layers into {num_groups} pipeline stages"
-        )
-    prefix = [0.0]
-    for cost in costs:
-        prefix.append(prefix[-1] + cost)
-
-    INF = float("inf")
-    # best[k][i]: minimal bottleneck cost splitting the first i items into k
-    # groups; cut[k][i]: where the last group starts in that optimum.
-    best = [[INF] * (n + 1) for _ in range(num_groups + 1)]
-    cut = [[0] * (n + 1) for _ in range(num_groups + 1)]
-    best[0][0] = 0.0
-    for k in range(1, num_groups + 1):
-        for i in range(k, n + 1):
-            for j in range(k - 1, i):
-                candidate = max(best[k - 1][j], prefix[i] - prefix[j])
-                if candidate < best[k][i]:
-                    best[k][i] = candidate
-                    cut[k][i] = j
-    bounds: List[Tuple[int, int]] = []
-    end = n
-    for k in range(num_groups, 0, -1):
-        start = cut[k][end]
-        bounds.append((start, end))
-        end = start
-    bounds.reverse()
-    return bounds
+    return _partition_dp(costs, num_groups, None, None)
 
 
 @dataclass(frozen=True)
 class StageAssignment:
-    """Result of the stage-assignment pass: node -> pipeline stage."""
+    """Result of the stage-assignment pass: node -> pipeline stage, plus the
+    device each stage runs on (``stage_devices[s]`` is a global device index
+    of the topology — simply ``s`` on a single machine)."""
 
     num_stages: int
     stage_of_node: Dict[str, int]
     stage_of_layer: Dict[int, int]
     stage_costs: List[float]
+    stage_devices: List[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.stage_devices:
+            object.__setattr__(
+                self, "stage_devices", list(range(self.num_stages))
+            )
 
     def nodes_of_stage(self, graph: Graph, stage: int) -> List[OpNode]:
         return [
@@ -241,12 +257,96 @@ class StageAssignment:
         ]
 
 
+def pipeline_stage_devices(topology: Topology, num_stages: int) -> List[int]:
+    """Place ``num_stages`` pipeline stages onto the topology's devices.
+
+    Stages are distributed across machines proportionally to their device
+    counts (whole stages, largest-remainder rounding), keeping consecutive
+    stages on one machine as long as it has devices — so the number of
+    cross-machine stage boundaries is minimal and the stage-assignment DP
+    can steer the cheap layer cuts onto them.  On a single machine stage
+    ``s`` runs on device ``s``, exactly the pre-cluster placement.
+    """
+    if num_stages > topology.num_devices:
+        raise ExecutionError(
+            f"pipeline wants {num_stages} stages on a topology with "
+            f"{topology.num_devices} device(s)"
+        )
+    if topology.num_machines == 1:
+        return list(range(num_stages))
+    from repro.sim.device import as_cluster
+
+    cluster = as_cluster(topology)
+    total = cluster.num_devices
+    sizes = [m.num_devices for m in cluster.machines]
+    quotas = [num_stages * size // total for size in sizes]
+    remainders = [
+        (num_stages * size / total - quota, size - quota, index)
+        for index, (size, quota) in enumerate(zip(sizes, quotas))
+    ]
+    # Largest remainder first; machines with more spare devices break ties.
+    remainders.sort(key=lambda item: (-item[0], -item[1], item[2]))
+    short = num_stages - sum(quotas)
+    for fraction, spare, index in remainders:
+        if short <= 0:
+            break
+        if quotas[index] < sizes[index]:
+            quotas[index] += 1
+            short -= 1
+    if short > 0:  # quotas hit machine capacities; fill wherever space is left
+        for index, size in enumerate(sizes):
+            while short > 0 and quotas[index] < size:
+                quotas[index] += 1
+                short -= 1
+    devices: List[int] = []
+    for machine_index, quota in enumerate(quotas):
+        devices.extend(cluster.devices_of_machine(machine_index)[:quota])
+    return devices
+
+
+def layer_cut_bytes(
+    graph: Graph, layer_of: Dict[str, int], layers: Sequence[int]
+) -> List[float]:
+    """Bytes crossing each candidate stage boundary.
+
+    ``result[i]`` is the total size of tensors alive across the boundary
+    before position ``i`` (of the sorted ``layers`` list) — produced on one
+    side, consumed on the other, in either direction: activations flow
+    forward and gradients flow backward, and a stage cut must move both
+    between the two stages' devices.  ``result[0]`` is always 0 (no cut
+    before the first layer).
+    """
+    position = {layer: index for index, layer in enumerate(layers)}
+    diff = [0.0] * (len(layers) + 1)
+    for tensor_name, spec in graph.tensors.items():
+        producer = spec.producer
+        if producer is None:
+            continue
+        start = end = position[layer_of.get(producer, layers[0])]
+        for consumer in graph.consumers_of(tensor_name):
+            pos = position[layer_of.get(consumer.name, layers[0])]
+            start = min(start, pos)
+            end = max(end, pos)
+        if end > start:
+            size = float(spec.size_bytes())
+            diff[start + 1] += size
+            diff[end + 1] -= size
+    cuts = [0.0] * len(layers)
+    running = 0.0
+    for index in range(1, len(layers)):
+        running += diff[index]
+        cuts[index] = running
+    return cuts
+
+
 def assign_pipeline_stages(
     graph: Graph,
-    machine: MachineSpec,
+    machine: Topology,
     num_stages: int,
     *,
     layer_of: Optional[Dict[str, int]] = None,
+    stage_devices: Optional[Sequence[int]] = None,
+    topology_aware: bool = True,
 ) -> StageAssignment:
     """Group the graph's layers into ``num_stages`` contiguous stages.
 
@@ -254,6 +354,13 @@ def assign_pipeline_stages(
     and backward nodes on the machine's first device; the contiguous split
     minimises the bottleneck stage.  ``layer_of`` lets callers that already
     ran :func:`full_layer_assignment` skip the second graph traversal.
+
+    On a multi-machine topology (and unless ``topology_aware=False``) the
+    split also charges each candidate cut with the time of moving its
+    boundary tensors (:func:`layer_cut_bytes`) over the link between the two
+    stages' devices, so the DP steers low-traffic cuts onto the expensive
+    cross-machine edges.  On one machine the scoring reduces exactly to the
+    flat compute balance.
     """
     if layer_of is None:
         layer_of = full_layer_assignment(graph)
@@ -263,6 +370,14 @@ def assign_pipeline_stages(
             f"pipeline wants {num_stages} stages but the graph only has "
             f"{len(layers)} layers"
         )
+    if stage_devices is None:
+        stage_devices = pipeline_stage_devices(machine, num_stages)
+    elif len(stage_devices) != num_stages:
+        raise ExecutionError(
+            f"stage_devices names {len(stage_devices)} device(s) for "
+            f"{num_stages} stages"
+        )
+    stage_devices = list(stage_devices)
     device_spec = machine.device(0)
     cost_of_layer = {layer: 0.0 for layer in layers}
     for node in graph.nodes:
@@ -270,7 +385,17 @@ def assign_pipeline_stages(
             graph, node, device_spec, machine
         )
     costs = [cost_of_layer[layer] for layer in layers]
-    bounds = balanced_contiguous_partition(costs, num_stages)
+    link_aware = topology_aware and machine.num_machines > 1
+    if link_aware:
+        cuts = layer_cut_bytes(graph, layer_of, layers)
+        # Seconds per cut position for the link into each stage > 0.
+        cut_cost_of_stage = [
+            machine.link_between(stage_devices[s - 1], stage_devices[s])
+            for s in range(1, num_stages)
+        ]
+        bounds = _link_aware_partition(costs, cuts, cut_cost_of_stage)
+    else:
+        bounds = balanced_contiguous_partition(costs, num_stages)
     stage_of_layer: Dict[int, int] = {}
     stage_costs: List[float] = []
     for stage, (start, end) in enumerate(bounds):
@@ -285,7 +410,84 @@ def assign_pipeline_stages(
         stage_of_node=stage_of_node,
         stage_of_layer=stage_of_layer,
         stage_costs=stage_costs,
+        stage_devices=stage_devices,
     )
+
+
+def _link_aware_partition(
+    costs: Sequence[float],
+    cut_bytes: Sequence[float],
+    boundary_links,
+) -> List[Tuple[int, int]]:
+    """:func:`balanced_contiguous_partition` with each stage additionally
+    charged the transfer time of its boundary cuts over ``boundary_links``
+    (``boundary_links[s]`` is the link between stage ``s`` and ``s + 1``).
+
+    Both sides of a cut pay its transfer: the sender's link/NIC is occupied
+    and the receiver waits, so in steady state the transfer extends both
+    stages' periods.  That is what steers the DP towards low-traffic cuts on
+    expensive edges even when the compute balance barely moves.
+    """
+    return _partition_dp(
+        costs, len(boundary_links) + 1, cut_bytes, boundary_links
+    )
+
+
+def _partition_dp(
+    costs: Sequence[float],
+    num_groups: int,
+    cut_bytes: Optional[Sequence[float]],
+    boundary_links,
+) -> List[Tuple[int, int]]:
+    """The one min-max linear-partition DP behind both stage-split flavours.
+
+    ``best[k][i]``: minimal bottleneck cost splitting the first ``i`` items
+    into ``k`` groups; ``cut[k][i]``: where the last group starts in that
+    optimum.  When ``boundary_links`` is given, group ``k``'s cost includes
+    the transfer time of its inbound cut (over the link from group ``k-1``)
+    and its outbound cut (over the link to group ``k+1``); without it the
+    cost is the plain item sum.
+    """
+    n = len(costs)
+    if num_groups > n:
+        raise ExecutionError(
+            f"cannot split {n} layers into {num_groups} pipeline stages"
+        )
+    prefix = [0.0]
+    for cost in costs:
+        prefix.append(prefix[-1] + cost)
+
+    INF = float("inf")
+    best = [[INF] * (n + 1) for _ in range(num_groups + 1)]
+    cut = [[0] * (n + 1) for _ in range(num_groups + 1)]
+    best[0][0] = 0.0
+    for k in range(1, num_groups + 1):
+        inbound = outbound = None
+        if boundary_links is not None:
+            inbound = boundary_links[k - 2] if k > 1 else None
+            outbound = boundary_links[k - 1] if k < num_groups else None
+        for i in range(k, n + 1):
+            outbound_cost = (
+                outbound.transfer_time(cut_bytes[i])
+                if outbound is not None and i < n
+                else 0.0
+            )
+            for j in range(k - 1, i):
+                stage_cost = prefix[i] - prefix[j] + outbound_cost
+                if inbound is not None:
+                    stage_cost += inbound.transfer_time(cut_bytes[j])
+                candidate = max(best[k - 1][j], stage_cost)
+                if candidate < best[k][i]:
+                    best[k][i] = candidate
+                    cut[k][i] = j
+    bounds: List[Tuple[int, int]] = []
+    end = n
+    for k in range(num_groups, 0, -1):
+        start = cut[k][end]
+        bounds.append((start, end))
+        end = start
+    bounds.reverse()
+    return bounds
 
 
 # ---------------------------------------------------------------------------

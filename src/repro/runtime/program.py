@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
-from repro.sim.device import MachineSpec
+from repro.sim.device import Topology
 from repro.sim.engine import Task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
@@ -65,7 +65,7 @@ class LoweredProgram:
     stats: Dict[str, float] = field(default_factory=dict)
     plan: Optional["PartitionPlan"] = None
     partitioned: Optional["PartitionedGraph"] = None
-    machine: Optional[MachineSpec] = None
+    machine: Optional[Topology] = None
     num_microbatches: int = 1
     stage_of_node: Optional[Mapping[str, int]] = None
     schedule: Optional["PipelineSchedule"] = None

@@ -1,18 +1,35 @@
-"""Device and machine models.
+"""Device, machine, and cluster models.
 
 The paper's testbed is an EC2 p2.8xlarge: 8 NVIDIA K80 GPUs (GK210 dies) with
 12 GB device memory each, connected by PCI-e with 21 GB/s peer-to-peer
 bandwidth and a 10 GB/s aggregate CPU-GPU link, backed by 488 GB of host
 memory (Sec 7.1).  ``k80_8gpu_machine`` reconstructs that machine; other
 configurations can be built for sensitivity studies.
+
+Beyond the single box, :class:`ClusterSpec` composes N machines over a
+network link (bandwidth + latency) into a hierarchical topology — the
+setting the paper's recursive partitioning is designed for (partition across
+the slow level first, then within the fast level).  The resolution layer
+(:meth:`ClusterSpec.link_between`) maps any (source device, destination
+device) pair to the :class:`Link` the transfer actually crosses, which is
+what the comm-emission pass and the simulator's per-link contention queues
+price against.  A :class:`ClusterSpec` of one machine is behaviourally
+identical to that bare :class:`MachineSpec` — the parity the runtime tests
+pin down.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple, Union
+
+from repro.errors import SimulationError
 
 GiB = 1 << 30
+
+#: Serialization version emitted by :func:`machine_to_dict`; payloads without
+#: a ``version`` field are the pre-cluster format and still load.
+MACHINE_PAYLOAD_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -26,6 +43,29 @@ class DeviceSpec:
 
     def fits(self, required_bytes: int) -> bool:
         return required_bytes <= self.memory_bytes
+
+
+@dataclass(frozen=True)
+class Link:
+    """One priced communication edge of the topology.
+
+    ``key`` identifies the contention queue the transfer occupies in the
+    simulator (transfers sharing a key serialise); ``kind`` is the edge's
+    level in the hierarchy — ``"p2p"`` (intra-machine PCI-e, one queue per
+    destination device), ``"cpu"`` (the machine's shared host link), or
+    ``"net"`` (the inter-machine network, one queue per destination NIC).
+    ``latency`` is added once per transfer on top of ``bytes / bandwidth``.
+    """
+
+    kind: str
+    key: str
+    bandwidth: float
+    latency: float = 0.0
+
+    def transfer_time(self, num_bytes: float) -> float:
+        """Occupancy of this link for one ``num_bytes`` transfer."""
+        duration = num_bytes / self.bandwidth if self.bandwidth else 0.0
+        return duration + self.latency
 
 
 @dataclass(frozen=True)
@@ -48,8 +88,294 @@ class MachineSpec:
     def num_devices(self) -> int:
         return len(self.devices)
 
+    @property
+    def num_machines(self) -> int:
+        return 1
+
     def device(self, index: int) -> DeviceSpec:
         return self.devices[index]
+
+    # -------------------------------------------------------- link resolution
+    # A bare machine is the degenerate one-machine cluster: every transfer is
+    # intra-machine, so the resolution layer below mirrors ClusterSpec's.
+    def machine_of(self, device_index: int) -> int:
+        return 0
+
+    def p2p_link(self, dst_device: int) -> Link:
+        """The destination device's PCI-e peer-to-peer link."""
+        return Link(
+            kind="p2p", key=f"p2p:{dst_device}", bandwidth=self.p2p_bandwidth
+        )
+
+    def host_link(self, device_index: int = 0) -> Link:
+        """The machine-wide shared CPU link."""
+        return Link(kind="cpu", key="cpu:m0", bandwidth=self.cpu_bandwidth)
+
+    def link_between(self, src_device: int, dst_device: int) -> Link:
+        """The link a ``src -> dst`` transfer occupies (always PCI-e here)."""
+        self._check_device(src_device)
+        self._check_device(dst_device)
+        return self.p2p_link(dst_device)
+
+    def host_memory_of(self, device_index: int) -> int:
+        return self.cpu_memory
+
+    def _check_device(self, index: int) -> None:
+        if not 0 <= index < self.num_devices:
+            raise SimulationError(
+                f"device index {index} out of range for a machine with "
+                f"{self.num_devices} device(s)"
+            )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """N machines composed over a network link — a hierarchical topology.
+
+    Device indices are global and contiguous: machine 0 holds devices
+    ``[0, machines[0].num_devices)``, machine 1 the next block, and so on.
+    ``network_bandwidth``/``network_latency`` model the inter-machine fabric
+    (default: a 10 Gb/s datacenter link with 40 µs latency — two orders of
+    magnitude slower than PCI-e peer-to-peer, which is exactly the gap the
+    hierarchical partitioning exploits).
+
+    The class mirrors :class:`MachineSpec`'s accessor surface
+    (``num_devices``, ``device(i)``, ``kernel_launch_overhead``, …) so every
+    layer of the runtime accepts either; ``as_cluster`` normalises when code
+    needs the cluster view explicitly.
+    """
+
+    machines: List[MachineSpec]
+    network_bandwidth: float = 1.25e9   # 10 Gb/s
+    network_latency: float = 40e-6
+
+    def __post_init__(self):
+        if not self.machines:
+            raise SimulationError("a cluster needs at least one machine")
+
+    # ----------------------------------------------------- MachineSpec surface
+    @property
+    def devices(self) -> List[DeviceSpec]:
+        return [d for machine in self.machines for d in machine.devices]
+
+    @property
+    def num_devices(self) -> int:
+        return sum(machine.num_devices for machine in self.machines)
+
+    @property
+    def num_machines(self) -> int:
+        return len(self.machines)
+
+    def device(self, index: int) -> DeviceSpec:
+        machine, local = self.locate(index)
+        return machine.device(local)
+
+    @property
+    def kernel_launch_overhead(self) -> float:
+        return self.machines[0].kernel_launch_overhead
+
+    @property
+    def p2p_bandwidth(self) -> float:
+        return self.machines[0].p2p_bandwidth
+
+    @property
+    def cpu_bandwidth(self) -> float:
+        return self.machines[0].cpu_bandwidth
+
+    @property
+    def cpu_memory(self) -> int:
+        return self.machines[0].cpu_memory
+
+    # ------------------------------------------------------------- structure
+    def machine_of(self, device_index: int) -> int:
+        """Index of the machine holding global device ``device_index``."""
+        self._check_device(device_index)
+        remaining = device_index
+        for machine_index, machine in enumerate(self.machines):
+            if remaining < machine.num_devices:
+                return machine_index
+            remaining -= machine.num_devices
+        raise SimulationError(  # pragma: no cover - guarded by _check_device
+            f"device index {device_index} out of range"
+        )
+
+    def locate(self, device_index: int) -> Tuple[MachineSpec, int]:
+        """``(machine, local device index)`` of a global device index."""
+        machine_index = self.machine_of(device_index)
+        offset = sum(m.num_devices for m in self.machines[:machine_index])
+        return self.machines[machine_index], device_index - offset
+
+    def devices_of_machine(self, machine_index: int) -> List[int]:
+        """Global device indices of one machine, in order."""
+        offset = sum(m.num_devices for m in self.machines[:machine_index])
+        return list(
+            range(offset, offset + self.machines[machine_index].num_devices)
+        )
+
+    # -------------------------------------------------------- link resolution
+    def p2p_link(self, dst_device: int) -> Link:
+        machine, _ = self.locate(dst_device)
+        return Link(
+            kind="p2p", key=f"p2p:{dst_device}", bandwidth=machine.p2p_bandwidth
+        )
+
+    def host_link(self, device_index: int = 0) -> Link:
+        machine_index = self.machine_of(device_index)
+        machine = self.machines[machine_index]
+        return Link(
+            kind="cpu",
+            key=f"cpu:m{machine_index}",
+            bandwidth=machine.cpu_bandwidth,
+        )
+
+    def network_link(self, dst_machine: int) -> Link:
+        """The destination machine's NIC: every inbound inter-machine
+        transfer to that machine contends on one queue (the aggregate-link
+        analogue of the shared CPU link)."""
+        return Link(
+            kind="net",
+            key=f"net:m{dst_machine}",
+            bandwidth=self.network_bandwidth,
+            latency=self.network_latency,
+        )
+
+    def link_between(self, src_device: int, dst_device: int) -> Link:
+        """The link a ``src -> dst`` transfer occupies: the destination's
+        PCI-e link within one machine, the destination machine's NIC across
+        machines."""
+        src_machine = self.machine_of(src_device)
+        dst_machine = self.machine_of(dst_device)
+        if src_machine == dst_machine:
+            return self.p2p_link(dst_device)
+        return self.network_link(dst_machine)
+
+    def host_memory_of(self, device_index: int) -> int:
+        machine, _ = self.locate(device_index)
+        return machine.cpu_memory
+
+    def _check_device(self, index: int) -> None:
+        if not 0 <= index < self.num_devices:
+            raise SimulationError(
+                f"device index {index} out of range for a cluster with "
+                f"{self.num_devices} device(s)"
+            )
+
+
+#: Either topology level accepted by the runtime and the simulator.
+Topology = Union[MachineSpec, ClusterSpec]
+
+
+def as_cluster(topology: Topology) -> ClusterSpec:
+    """Normalise to the cluster view (a bare machine becomes a one-machine
+    cluster; the simulator and the passes resolve links through this)."""
+    if isinstance(topology, ClusterSpec):
+        return topology
+    return ClusterSpec(machines=[topology])
+
+
+def num_machines_of(topology: Topology) -> int:
+    return topology.num_machines
+
+
+def slice_topology(topology: Topology, num_devices: int) -> Topology:
+    """The sub-topology covering the first ``num_devices`` devices.
+
+    Used wherever a wrapper strategy hands part of the hardware to an inner
+    strategy (``dp`` replica groups, ``machines`` sub-clusters).  Slicing a
+    bare machine returns a smaller machine; slicing a cluster returns the
+    machine prefix — whole machines while they fit, then a partial machine —
+    collapsing to a bare :class:`MachineSpec` when the slice stays inside
+    machine 0 (so single-machine code paths keep their exact behaviour).
+    """
+    if num_devices <= 0:
+        raise SimulationError("a topology slice needs at least one device")
+    if num_devices > topology.num_devices:
+        raise SimulationError(
+            f"cannot slice {num_devices} devices out of a topology with "
+            f"{topology.num_devices}"
+        )
+    if isinstance(topology, MachineSpec):
+        return replace(topology, devices=list(topology.devices[:num_devices]))
+    machines: List[MachineSpec] = []
+    remaining = num_devices
+    for machine in topology.machines:
+        if remaining <= 0:
+            break
+        take = min(remaining, machine.num_devices)
+        if take == machine.num_devices:
+            machines.append(machine)
+        else:
+            machines.append(
+                replace(machine, devices=list(machine.devices[:take]))
+            )
+        remaining -= take
+    if len(machines) == 1:
+        return machines[0]
+    return replace(topology, machines=machines)
+
+
+def slice_topology_range(
+    topology: Topology, start: int, num_devices: int
+) -> Topology:
+    """The sub-topology covering devices ``[start, start + num_devices)``.
+
+    Unlike :func:`slice_topology` the range need not begin at device 0 — the
+    hybrid backend uses this to give each replica group *its* machines, so a
+    group straddling a machine boundary keeps the boundary (and its network
+    link) in the slice.  Collapses to a bare :class:`MachineSpec` when the
+    range stays inside one machine.
+    """
+    if num_devices <= 0:
+        raise SimulationError("a topology slice needs at least one device")
+    if start < 0 or start + num_devices > topology.num_devices:
+        raise SimulationError(
+            f"cannot slice devices [{start}, {start + num_devices}) out of a "
+            f"topology with {topology.num_devices}"
+        )
+    if isinstance(topology, MachineSpec):
+        return replace(
+            topology, devices=list(topology.devices[start:start + num_devices])
+        )
+    machines: List[MachineSpec] = []
+    offset = 0
+    end = start + num_devices
+    for machine in topology.machines:
+        machine_end = offset + machine.num_devices
+        lo = max(start, offset)
+        hi = min(end, machine_end)
+        if hi > lo:
+            if hi - lo == machine.num_devices:
+                machines.append(machine)
+            else:
+                machines.append(
+                    replace(
+                        machine,
+                        devices=list(machine.devices[lo - offset:hi - offset]),
+                    )
+                )
+        offset = machine_end
+    if len(machines) == 1:
+        return machines[0]
+    return replace(topology, machines=machines)
+
+
+def slice_machines(topology: Topology, num_machines: int) -> Topology:
+    """The sub-cluster of the first ``num_machines`` machines (all their
+    devices).  The ``machines(M)`` strategy combinator lowers through this;
+    a one-machine slice collapses to the bare :class:`MachineSpec`."""
+    if num_machines < 1:
+        raise SimulationError("a machine slice needs at least one machine")
+    if num_machines > topology.num_machines:
+        raise SimulationError(
+            f"cannot slice {num_machines} machine(s) out of a topology with "
+            f"{topology.num_machines}"
+        )
+    if num_machines == topology.num_machines:
+        return topology
+    cluster = as_cluster(topology)
+    if num_machines == 1:
+        return cluster.machines[0]
+    return replace(cluster, machines=list(cluster.machines[:num_machines]))
 
 
 def k80_8gpu_machine(num_gpus: int = 8) -> MachineSpec:
@@ -77,16 +403,172 @@ def v100_machine(num_gpus: int = 8) -> MachineSpec:
     )
 
 
-def machine_to_dict(machine: MachineSpec) -> dict:
-    """JSON-serialisable form of a machine model; inverse of
-    :func:`machine_from_dict`.  Backs ``CompiledModel.save``."""
+def cluster_of(
+    machine: MachineSpec,
+    num_machines: int,
+    *,
+    network_bandwidth: float = 1.25e9,
+    network_latency: float = 40e-6,
+) -> Topology:
+    """``num_machines`` copies of ``machine`` over one network fabric.
+
+    ``num_machines=1`` returns the bare machine itself, so callers that
+    parameterise over machine counts keep exact single-machine behaviour at
+    count 1.
+    """
+    if num_machines < 1:
+        raise SimulationError("a cluster needs at least one machine")
+    if num_machines == 1:
+        return machine
+    return ClusterSpec(
+        machines=[machine for _ in range(num_machines)],
+        network_bandwidth=network_bandwidth,
+        network_latency=network_latency,
+    )
+
+
+def _p2_cluster(count: int) -> Topology:
+    return cluster_of(k80_8gpu_machine(), count)
+
+
+def _v100_cluster(count: int) -> Topology:
+    # NVLink boxes typically ship with faster NICs; model 100 Gb/s.
+    return cluster_of(
+        v100_machine(), count, network_bandwidth=12.5e9, network_latency=20e-6
+    )
+
+
+#: Named topologies the CLI's ``--preset`` flag (and tests) build from.
+TOPOLOGY_PRESETS: Dict[str, Callable[[], Topology]] = {
+    "p2_8xlarge": lambda: _p2_cluster(1),
+    "p2_8xlarge_x2": lambda: _p2_cluster(2),
+    "p2_8xlarge_x4": lambda: _p2_cluster(4),
+    "v100_x2": lambda: _v100_cluster(2),
+    "v100_x4": lambda: _v100_cluster(4),
+}
+
+
+def topology_preset(name: str) -> Topology:
+    """Build a named topology preset; raises :class:`SimulationError` with
+    the known names on a miss."""
+    try:
+        factory = TOPOLOGY_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(TOPOLOGY_PRESETS))
+        raise SimulationError(
+            f"unknown topology preset {name!r} (known: {known})"
+        ) from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+def _device_to_dict(device: DeviceSpec) -> dict:
     import dataclasses
 
-    return dataclasses.asdict(machine)
+    return dataclasses.asdict(device)
 
 
-def machine_from_dict(payload: dict) -> MachineSpec:
-    """Rebuild a :class:`MachineSpec` from :func:`machine_to_dict` output."""
-    devices = [DeviceSpec(**entry) for entry in payload.get("devices", [])]
-    kwargs = {k: v for k, v in payload.items() if k != "devices"}
+def _machine_fields(machine: MachineSpec) -> dict:
+    return {
+        "devices": [_device_to_dict(d) for d in machine.devices],
+        "p2p_bandwidth": machine.p2p_bandwidth,
+        "cpu_bandwidth": machine.cpu_bandwidth,
+        "cpu_memory": machine.cpu_memory,
+        "kernel_launch_overhead": machine.kernel_launch_overhead,
+    }
+
+
+def machine_to_dict(topology: Topology) -> dict:
+    """JSON-serialisable form of a machine or cluster model; inverse of
+    :func:`machine_from_dict`.  Backs ``CompiledModel.save``.
+
+    The payload carries ``version`` (currently ``2``) and ``kind``
+    (``"machine"`` or ``"cluster"``); version-1 payloads — plain
+    ``MachineSpec`` field dumps without either key — still load.
+    """
+    if isinstance(topology, ClusterSpec):
+        return {
+            "version": MACHINE_PAYLOAD_VERSION,
+            "kind": "cluster",
+            "machines": [_machine_fields(m) for m in topology.machines],
+            "network_bandwidth": topology.network_bandwidth,
+            "network_latency": topology.network_latency,
+        }
+    payload = {"version": MACHINE_PAYLOAD_VERSION, "kind": "machine"}
+    payload.update(_machine_fields(topology))
+    return payload
+
+
+_MACHINE_KEYS = (
+    "p2p_bandwidth", "cpu_bandwidth", "cpu_memory", "kernel_launch_overhead"
+)
+_DEVICE_KEYS = ("name", "memory_bytes", "peak_flops", "memory_bandwidth")
+
+
+def _load_device(entry: dict) -> DeviceSpec:
+    unknown = sorted(set(entry) - set(_DEVICE_KEYS))
+    if unknown:
+        raise SimulationError(
+            f"machine payload has unknown device field(s) {unknown} "
+            f"(known: {', '.join(_DEVICE_KEYS)})"
+        )
+    return DeviceSpec(**entry)
+
+
+def _load_machine(payload: dict) -> MachineSpec:
+    devices = [_load_device(dict(entry)) for entry in payload.get("devices", [])]
+    kwargs = {k: payload[k] for k in _MACHINE_KEYS if k in payload}
+    unknown = sorted(set(payload) - set(_MACHINE_KEYS) - {"devices"})
+    if unknown:
+        raise SimulationError(
+            f"machine payload has unknown field(s) {unknown} "
+            f"(known: devices, {', '.join(_MACHINE_KEYS)})"
+        )
     return MachineSpec(devices=devices, **kwargs)
+
+
+def machine_from_dict(payload: dict) -> Topology:
+    """Rebuild a :class:`MachineSpec` or :class:`ClusterSpec` from
+    :func:`machine_to_dict` output.
+
+    Payloads without a ``version`` field are the pre-cluster format and load
+    as plain machines; a payload declaring a version this library does not
+    understand is rejected with a clear :class:`SimulationError` (never a
+    ``TypeError`` from unexpected keyword arguments).
+    """
+    if not isinstance(payload, dict):
+        raise SimulationError(
+            f"machine payload must be a mapping, got {type(payload).__name__}"
+        )
+    version = payload.get("version")
+    if version is None:
+        # Version-1 payload: a bare MachineSpec field dump.
+        return _load_machine(payload)
+    if version != MACHINE_PAYLOAD_VERSION:
+        raise SimulationError(
+            f"unsupported machine payload version {version!r} (this library "
+            f"reads versions: 1 [no 'version' field], "
+            f"{MACHINE_PAYLOAD_VERSION})"
+        )
+    kind = payload.get("kind", "machine")
+    body = {k: v for k, v in payload.items() if k not in ("version", "kind")}
+    if kind == "machine":
+        return _load_machine(body)
+    if kind == "cluster":
+        machines = [_load_machine(dict(m)) for m in body.pop("machines", [])]
+        unknown = sorted(
+            set(body) - {"network_bandwidth", "network_latency"}
+        )
+        if unknown:
+            raise SimulationError(
+                f"cluster payload has unknown field(s) {unknown} "
+                f"(known: machines, network_bandwidth, network_latency)"
+            )
+        if not machines:
+            raise SimulationError("cluster payload has no machines")
+        return ClusterSpec(machines=machines, **body)
+    raise SimulationError(
+        f"unknown machine payload kind {kind!r} (known: machine, cluster)"
+    )

@@ -1,29 +1,70 @@
-"""Discrete-event simulation of task graphs over a multi-GPU machine.
+"""Discrete-event simulation of task graphs over a (possibly multi-machine)
+GPU topology.
 
 The simulator executes a graph of tasks where every task runs on a resource:
 compute tasks occupy their device's execution stream, communication tasks
-occupy either the destination device's PCI-e peer-to-peer link or the shared
-CPU link.  Tasks start as soon as their dependencies have finished and their
-resource is free (list scheduling in dependency order), which reproduces the
-first-order behaviour of MXNet's dependency-driven scheduler that the paper's
-evaluation relies on (pipelining across devices, link contention, the shared
-CPU link bottleneck for swapping).
+occupy the :class:`repro.sim.device.Link` they cross — a destination device's
+PCI-e peer-to-peer link, a machine's shared CPU link, or a destination
+machine's network NIC.  Each link is its own contention queue, so transfers
+sharing a link serialise while transfers on different links overlap.  Tasks
+start as soon as their dependencies have finished and their resource is free
+(list scheduling in dependency order), which reproduces the first-order
+behaviour of MXNet's dependency-driven scheduler that the paper's evaluation
+relies on (pipelining across devices, link contention, the shared CPU link
+bottleneck for swapping).
+
+On a single machine the link set degenerates to exactly the two channels the
+pre-cluster simulator modelled (per-device ``p2p`` queues plus one shared
+``cpu`` queue), so single-machine results are bit-identical to the flat
+model.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Union
 
 from repro.errors import SimulationError
-from repro.sim.device import MachineSpec
+from repro.sim.device import ClusterSpec, Link, MachineSpec
 
 HOST_DEVICE = -1
 
-#: Communication channels the simulator models: the destination device's
-#: PCI-e peer-to-peer link, or the machine-wide shared CPU link.
-CHANNELS = ("p2p", "cpu")
+#: Channel names a comm task may carry when it does not reference an explicit
+#: :class:`Link`: the destination device's PCI-e peer-to-peer link, the
+#: machine-wide shared CPU link, or the destination machine's network NIC
+#: (``"net"`` requires an explicit link on multi-machine topologies; on one
+#: machine it has no meaning and is rejected at resolution time).
+CHANNELS = ("p2p", "cpu", "net")
+
+
+def validate_channel(task_name: str, channel: str) -> None:
+    """The one channel validator: both the comm-emission pass and the
+    simulator call this, so the error string (which enumerates the valid
+    links) can never diverge between layers."""
+    if channel not in CHANNELS:
+        raise SimulationError(
+            f"task {task_name!r} uses unknown channel {channel!r} "
+            f"(known links: {', '.join(CHANNELS)})"
+        )
+
+
+def resolve_channel_link(
+    topology: Union[MachineSpec, ClusterSpec], task_name: str, channel: str,
+    device: int,
+) -> Link:
+    """Resolve a bare channel name to the :class:`Link` it denotes for a
+    transfer owned by ``device`` on ``topology``."""
+    validate_channel(task_name, channel)
+    if channel == "cpu":
+        return topology.host_link(max(device, 0))
+    if channel == "p2p":
+        return topology.p2p_link(device)
+    # "net" has no implied endpoints; emitters must attach the resolved link.
+    raise SimulationError(
+        f"task {task_name!r} uses channel 'net' without a resolved link; "
+        f"emit it through make_comm_task(topology=..., src=..., dst=...)"
+    )
 
 
 @dataclass
@@ -31,7 +72,13 @@ class Task:
     """One schedulable unit.
 
     ``kind`` is ``"compute"`` (duration given directly) or ``"comm"``
-    (duration derived from ``comm_bytes`` and the channel bandwidth).
+    (duration derived from ``comm_bytes`` and the link bandwidth, plus the
+    link latency for network hops).
+
+    A comm task names its edge either by ``channel`` (legacy two-channel
+    spelling, resolved against the topology at simulation time) or by an
+    explicit ``link`` from the topology's resolution layer
+    (:meth:`ClusterSpec.link_between`), which wins when present.
 
     ``deps`` are data dependencies (the task reads what they produced);
     ``after`` are stage-ordering control dependencies — pure scheduling
@@ -45,9 +92,15 @@ class Task:
     kind: str = "compute"
     duration: float = 0.0
     comm_bytes: float = 0.0
-    channel: str = "p2p"  # "p2p" | "cpu"
+    channel: str = "p2p"  # "p2p" | "cpu" | "net"
     deps: List[str] = field(default_factory=list)
     after: List[str] = field(default_factory=list)
+    link: Optional[Link] = None
+    #: Transfer endpoints of a link-resolved comm task (global device
+    #: indices); kept so programs cloned onto other device slices (the
+    #: hybrid backend's replica groups) can re-resolve the link there.
+    src_device: Optional[int] = None
+    dst_device: Optional[int] = None
 
     def ordering_deps(self) -> Iterable[str]:
         """Data and control dependencies, in one stream."""
@@ -71,6 +124,9 @@ class SimResult:
     #: Time each compute device spent idle between iteration start and end —
     #: the pipeline-parallel "bubble" when the program is staged.
     per_device_idle_time: Dict[int, float] = field(default_factory=dict)
+    #: Busy time per link key ("p2p:3", "cpu:m0", "net:m1", ...): how long
+    #: each contention queue of the topology was occupied this iteration.
+    per_link_busy_time: Dict[str, float] = field(default_factory=dict)
 
     def throughput(self, batch_size: int) -> float:
         """Training throughput in samples/second."""
@@ -95,11 +151,19 @@ class SimResult:
         )
         return min(1.0, busiest / self.iteration_time)
 
+    def network_busy_time(self) -> float:
+        """Aggregate busy time of the inter-machine links (0 on one machine)."""
+        return sum(
+            busy
+            for key, busy in self.per_link_busy_time.items()
+            if key.startswith("net:")
+        )
+
 
 class TaskGraphSimulator:
-    """List-scheduling simulator for one machine."""
+    """List-scheduling simulator for one machine or cluster."""
 
-    def __init__(self, machine: MachineSpec):
+    def __init__(self, machine: Union[MachineSpec, ClusterSpec]):
         self.machine = machine
 
     def run(
@@ -113,8 +177,8 @@ class TaskGraphSimulator:
         order = self._topo_order(tasks)
 
         device_available: Dict[int, float] = {}
-        link_available: Dict[int, float] = {}
-        cpu_link_available = 0.0
+        link_available: Dict[str, float] = {}
+        link_busy: Dict[str, float] = {}
         finish: Dict[str, float] = {}
         compute_busy: Dict[int, float] = {}
         comm_busy: Dict[int, float] = {}
@@ -138,23 +202,15 @@ class TaskGraphSimulator:
                     compute_busy.get(task.device, 0.0) + task.duration
                 )
             elif task.kind == "comm":
-                if task.channel not in CHANNELS:
-                    raise SimulationError(
-                        f"task {name!r} uses unknown channel {task.channel!r} "
-                        f"(known: {', '.join(CHANNELS)})"
+                link = task.link
+                if link is None:
+                    link = resolve_channel_link(
+                        self.machine, name, task.channel, task.device
                     )
-                if task.channel == "cpu":
-                    bandwidth = self.machine.cpu_bandwidth
-                    start = max(ready, cpu_link_available)
-                    duration = task.comm_bytes / bandwidth if bandwidth else 0.0
-                    end = start + duration
-                    cpu_link_available = end
-                else:
-                    bandwidth = self.machine.p2p_bandwidth
-                    start = max(ready, link_available.get(task.device, 0.0))
-                    duration = task.comm_bytes / bandwidth if bandwidth else 0.0
-                    end = start + duration
-                    link_available[task.device] = end
+                start = max(ready, link_available.get(link.key, 0.0))
+                end = start + link.transfer_time(task.comm_bytes)
+                link_available[link.key] = end
+                link_busy[link.key] = link_busy.get(link.key, 0.0) + (end - start)
                 comm_busy[task.device] = comm_busy.get(task.device, 0.0) + (end - start)
                 total_comm_bytes += task.comm_bytes
             else:
@@ -192,6 +248,7 @@ class TaskGraphSimulator:
             oom_devices=sorted(oom_devices),
             num_tasks=len(tasks),
             per_device_idle_time=idle_time,
+            per_link_busy_time=link_busy,
         )
 
     @staticmethod

@@ -1,8 +1,8 @@
 """The strategy mini-language: one algebra for every way a model is split.
 
 ``repro.strategy`` is the public face of the partitioning abstraction: a
-small immutable tree of combinators (``dp``, ``pipeline``, ``tofu``,
-``single``, ``placement``, ``swap``) composable with ``/``, with a canonical
+small immutable tree of combinators (``machines``, ``dp``, ``pipeline``,
+``tofu``, ``single``, ``placement``, ``swap``) composable with ``/``, with a canonical
 string form (:func:`parse` / ``str``), dict serialization
 (:meth:`Strategy.to_dict` / :meth:`Strategy.from_dict`) and a content
 address (:meth:`Strategy.signature`).  :func:`repro.compile` interprets a
@@ -16,6 +16,7 @@ from repro.strategy.algebra import (
     combinator_descriptions,
     combinator_names,
     dp,
+    machines,
     normalize,
     parse,
     pipeline,
@@ -39,6 +40,7 @@ __all__ = [
     "combinator_names",
     "dp",
     "lower_strategy",
+    "machines",
     "normalize",
     "parse",
     "parse_strategy",

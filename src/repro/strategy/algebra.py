@@ -20,6 +20,8 @@ Combinator                     Meaning
                                strategy (ring all-reduce across groups)
 ``pipeline(stages, schedule,   micro-batch pipelining over contiguous layer
   microbatches)``              stages (``"gpipe"`` or ``"1f1b"``)
+``machines(count)``            scope the inner strategy to ``count`` machines
+                               of a hierarchical cluster (outermost only)
 =============================  ============================================
 
 Wrapper combinators nest with ``/`` — ``dp(2) / pipeline(4, "1f1b", 8) /
@@ -34,9 +36,10 @@ that :func:`parse` round-trips, a dictionary form
 (:meth:`Strategy.to_dict` / :meth:`Strategy.from_dict`) for storage, and a
 content address (:meth:`Strategy.signature`) the plan cache keys on.
 
-Degenerate wrappers collapse at composition time: ``dp(1) / s == s`` and
-``pipeline(1, sched, 1) / s == s``, so structurally different spellings of
-the same execution share one canonical form (and one cache entry).
+Degenerate wrappers collapse at composition time: ``dp(1) / s == s``,
+``pipeline(1, sched, 1) / s == s`` and ``machines(1) / s == s``, so
+structurally different spellings of the same execution share one canonical
+form (and one cache entry).
 """
 
 from __future__ import annotations
@@ -55,6 +58,7 @@ __all__ = [
     "combinator_names",
     "compose",
     "dp",
+    "machines",
     "normalize",
     "parse",
     "pipeline",
@@ -249,7 +253,47 @@ class DataParallel(Strategy):
         return f"dp:{self.groups}"
 
     def _attach(self, child: Strategy) -> Strategy:
+        _reject_machines_inside(self, child)
         if self.groups == 1:  # degenerate: one replica group is the inner
+            return child
+        return replace(self, inner=child)
+
+
+@dataclass(frozen=True)
+class Machines(Strategy):
+    """Scope the inner strategy to ``count`` machines of a hierarchical
+    cluster — the topology level of the algebra.  ``machines(M)`` must be
+    the outermost combinator: it slices the cluster to its first ``M``
+    machines and hands the whole slice (every device, PCI-e *and* network
+    links) to the inner strategy."""
+
+    kind: ClassVar[str] = "machines"
+    is_wrapper: ClassVar[bool] = True
+    count: int = 1
+    inner: Optional[Strategy] = None
+
+    def _validate(self) -> None:
+        if (
+            not isinstance(self.count, int)
+            or isinstance(self.count, bool)
+            or self.count < 1
+        ):
+            raise StrategyError(
+                f"machines needs a positive integer machine count, got "
+                f"{self.count!r}"
+            )
+
+    def _segment(self) -> str:
+        return f"machines:{self.count}"
+
+    def _attach(self, child: Strategy) -> Strategy:
+        if isinstance(child, Machines):
+            raise StrategyError(
+                f"{child._segment()!r} cannot nest inside "
+                f"{self._segment()!r}; machines(...) is the outermost "
+                f"(topology) level of a strategy"
+            )
+        if self.count == 1:  # degenerate: one machine scopes nothing
             return child
         return replace(self, inner=child)
 
@@ -295,14 +339,23 @@ class Pipeline(Strategy):
         return f"pipeline:{self.stages}:{self.schedule}:{self.microbatches}"
 
     def _attach(self, child: Strategy) -> Strategy:
+        _reject_machines_inside(self, child)
         if self.stages == 1 and self.microbatches == 1:
             return child  # degenerate: an unstaged, unsplit pipeline is a no-op
         return replace(self, inner=child)
 
 
+def _reject_machines_inside(parent: Strategy, child: Strategy) -> None:
+    if isinstance(child, Machines):
+        raise StrategyError(
+            f"{child._segment()!r} cannot nest inside {parent._segment()!r}; "
+            f"machines(...) is the outermost (topology) level of a strategy"
+        )
+
+
 _NODE_TYPES: Dict[str, Type[Strategy]] = {
     cls.kind: cls
-    for cls in (Single, Tofu, Placement, Swap, DataParallel, Pipeline)
+    for cls in (Single, Tofu, Placement, Swap, DataParallel, Pipeline, Machines)
 }
 
 
@@ -348,6 +401,15 @@ def pipeline(
     """A ``stages``-stage micro-batch pipeline (``"gpipe"`` or ``"1f1b"``).
     ``pipeline(1, sched, 1) / s`` collapses to ``s``."""
     node = Pipeline(stages=stages, schedule=schedule, microbatches=microbatches)
+    node._validate()
+    return compose(node, inner) if inner is not None else node
+
+
+def machines(count: int, inner: Optional[Strategy] = None) -> Strategy:
+    """Scope ``inner`` (attachable later with ``/``) to ``count`` machines of
+    a hierarchical cluster.  ``machines(1) / s`` collapses to ``s``; the
+    combinator must stay outermost (it is the topology level)."""
+    node = Machines(count=count)
     node._validate()
     return compose(node, inner) if inner is not None else node
 
@@ -411,6 +473,13 @@ def _parse_segment(segment: str) -> Strategy:
                 f"dp takes exactly one group-count argument, got {segment!r}"
             )
         return dp(_parse_int(segment, "group count", args[0]))
+    if name == "machines":
+        if len(args) != 1:
+            raise StrategyError(
+                f"machines takes exactly one machine-count argument, "
+                f"got {segment!r}"
+            )
+        return machines(_parse_int(segment, "machine count", args[0]))
     if name == "pipeline":
         if not 1 <= len(args) <= 3:
             raise StrategyError(
@@ -470,6 +539,8 @@ def combinator_descriptions() -> Dict[str, str]:
         "dp:<groups>": "data-parallel replica groups around the inner strategy",
         "pipeline:<stages>[:<schedule>[:<microbatches>]]":
             "micro-batch pipeline over contiguous layer stages",
+        "machines:<count>": "scope the inner strategy to <count> machines of "
+        "a hierarchical cluster (outermost only)",
     }
 
 

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.sim.device import MachineSpec
-from repro.strategy.algebra import Strategy, dp, pipeline, single, tofu
+from repro.sim.device import Topology
+from repro.strategy.algebra import Strategy, dp, machines, pipeline, single, tofu
 
 __all__ = ["auto_candidates"]
 
@@ -27,21 +27,10 @@ def _divisors(value: int) -> List[int]:
     return [d for d in range(1, value + 1) if value % d == 0]
 
 
-def auto_candidates(
-    machine: MachineSpec,
-    *,
-    microbatches: int = 4,
-    schedule: str = "1f1b",
-    max_candidates: int = 16,
+def _flat_candidates(
+    devices: int, microbatches: int, schedule: str
 ) -> List[Strategy]:
-    """The bounded strategy sweep for ``machine``, best-first-agnostic order.
-
-    Always includes ``tofu()`` and ``single()``; adds ``dp(G)/tofu()`` for
-    every divisor group count, ``pipeline(S, ...)`` for every divisor stage
-    count, and the composed ``dp(G)/pipeline(S, ...)/tofu()`` grid while the
-    ``max_candidates`` budget lasts.
-    """
-    devices = machine.num_devices
+    """The single-topology sweep: leaves × replica groups × stage counts."""
     candidates: List[Strategy] = [tofu(), single()]
     for groups in _divisors(devices):
         if groups > 1:
@@ -57,6 +46,44 @@ def auto_candidates(
                 candidates.append(
                     dp(groups) / pipeline(stages, schedule, microbatches) / tofu()
                 )
+    return candidates
+
+
+def auto_candidates(
+    machine: Topology,
+    *,
+    microbatches: int = 4,
+    schedule: str = "1f1b",
+    max_candidates: int = 16,
+) -> List[Strategy]:
+    """The bounded strategy sweep for ``machine``, best-first-agnostic order.
+
+    Always includes ``tofu()`` and ``single()``; adds ``dp(G)/tofu()`` for
+    every divisor group count, ``pipeline(S, ...)`` for every divisor stage
+    count, and the composed ``dp(G)/pipeline(S, ...)/tofu()`` grid while the
+    ``max_candidates`` budget lasts.
+
+    On a multi-machine cluster the sweep also covers machine counts: for
+    every ``M`` from the full cluster down to 2, ``machines(M)`` scopes a
+    cross-machine tofu partition, one data-parallel replica group per
+    machine, and a pipeline with one stage per machine — so ``auto`` decides
+    not just *how* to split but over *how much* of the cluster.
+    """
+    devices = machine.num_devices
+    # The paper's own strategy stays first so the sweep can never lose it to
+    # the candidate budget ("auto is never slower than tofu").
+    candidates: List[Strategy] = [tofu(), single()]
+    if machine.num_machines > 1:
+        for count in range(machine.num_machines, 1, -1):
+            candidates.append(machines(count) / tofu())
+            candidates.append(machines(count) / dp(count) / tofu())
+            # One pipeline stage per machine; a graph with fewer layers than
+            # machines fails candidate-by-candidate in the sweep, not here.
+            candidates.append(
+                machines(count) / pipeline(count, schedule, microbatches)
+                / tofu()
+            )
+    candidates.extend(_flat_candidates(devices, microbatches, schedule))
     # Dedup (degenerate collapses can alias) while keeping order, then bound.
     seen = set()
     unique: List[Strategy] = []

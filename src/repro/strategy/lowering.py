@@ -3,6 +3,9 @@
 The strategy algebra stays abstract; this module is its interpreter.  Each
 tree maps onto exactly one registered execution backend plus its options:
 
+* ``machines(M) / inner`` → the topology level: the cluster is sliced to its
+  first ``M`` machines and the inner strategy runs across the whole slice
+  (PCI-e *and* network links);
 * ``dp(G) / inner`` → the ``hybrid`` backend (``replica_groups=G``, the
   lowered inner as ``hybrid``'s inner backend);
 * ``pipeline(S, sched, M)`` → the ``pipeline`` backend (stage count,
@@ -10,27 +13,30 @@ tree maps onto exactly one registered execution backend plus its options:
 * the leaves → ``tofu-partitioned`` / ``single-device`` / ``placement`` /
   ``swap``.
 
-The device budget flows down the tree: ``dp(G)`` divides the machine into
-``G`` equal groups, ``pipeline(S)`` gives each stage one device, and a
-``tofu`` leaf partitions over whatever devices remain — so the lowering also
-reports *how many workers the partition plan must be searched for* (and on
-which machine slice), which :func:`repro.compile` feeds to the planner.
+The hardware budget flows down the tree: ``machines(M)`` scopes the cluster,
+``dp(G)`` divides the remaining devices into ``G`` equal groups,
+``pipeline(S)`` gives each stage one device, and a ``tofu`` leaf partitions
+over whatever devices remain — so the lowering also reports *how many
+workers the partition plan must be searched for* (and on which topology
+slice), which :func:`repro.compile` feeds to the planner.
 
-Compositions the runtime cannot execute (``dp`` inside ``dp``, a multi-device
-strategy inside a pipeline stage) are rejected here with a
-:class:`StrategyError` naming the offending node, before any search runs.
+Compositions the runtime cannot execute (``dp`` inside ``dp``, ``machines``
+below the root, a multi-device strategy inside a pipeline stage) are
+rejected here with a :class:`StrategyError` naming the offending node,
+before any search runs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.errors import StrategyError
+from repro.errors import SimulationError, StrategyError
 from repro.graph.graph import Graph
-from repro.sim.device import MachineSpec
+from repro.sim.device import Topology, slice_machines, slice_topology
 from repro.strategy.algebra import (
     DataParallel,
+    Machines,
     Pipeline,
     Placement,
     Single,
@@ -57,8 +63,11 @@ class StrategyLowering:
         plan_backend: Search-backend registry key for that plan (``None``
             for a bare ``tofu`` leaf — the searching planner's configured
             default applies).
-        plan_machine: Machine slice the plan's workers correspond to (one
-            replica group for ``dp``-wrapped strategies).
+        plan_machine: Topology slice the plan's workers correspond to (one
+            replica group for ``dp``-wrapped strategies, the machine slice
+            for ``machines``-scoped ones).
+        machine: The topology slice the lowered program executes on (the
+            full machine unless ``machines(M)`` narrowed it).
     """
 
     strategy: Strategy
@@ -66,7 +75,8 @@ class StrategyLowering:
     options: Dict[str, object] = field(default_factory=dict)
     plan_workers: Optional[int] = None
     plan_backend: Optional[str] = None
-    plan_machine: Optional[MachineSpec] = None
+    plan_machine: Optional[Topology] = None
+    machine: Optional[Topology] = None
 
     def describe(self) -> str:
         parts = [f"executor: {self.backend}"]
@@ -94,10 +104,15 @@ def _round_robin_placement(graph: Graph, num_devices: int) -> Dict[str, int]:
 
 
 def _lower_node(
-    node: Strategy, machine: MachineSpec, graph: Optional[Graph]
+    node: Strategy, machine: Topology, graph: Optional[Graph]
 ) -> StrategyLowering:
     """Lower one node onto the devices of ``machine`` (already sliced by any
-    enclosing ``dp``)."""
+    enclosing ``machines``/``dp``)."""
+    if isinstance(node, Machines):
+        raise StrategyError(
+            f"{node._segment()!r} must be the outermost combinator of a "
+            f"strategy (it scopes the cluster the rest executes on)"
+        )
     if isinstance(node, Single):
         return StrategyLowering(node, "single-device")
     if isinstance(node, Swap):
@@ -153,7 +168,7 @@ def _lower_node(
 
 def lower_strategy(
     strategy: Strategy,
-    machine: MachineSpec,
+    machine: Topology,
     *,
     graph: Optional[Graph] = None,
 ) -> StrategyLowering:
@@ -163,20 +178,44 @@ def lower_strategy(
     (the ``placement`` leaf's device map); pass it whenever available.
     """
     root = normalize(strategy)
-    if not isinstance(root, DataParallel):
-        lowering = _lower_node(root, machine, graph)
-        lowering.strategy = root
-        return lowering
+    body = root
+    if isinstance(root, Machines):
+        if root.count > machine.num_machines:
+            raise StrategyError(
+                f"{root._segment()!r} needs a cluster with at least "
+                f"{root.count} machine(s); the given topology has "
+                f"{machine.num_machines} (build one with "
+                f"repro.sim.device.ClusterSpec or cluster_of)"
+            )
+        try:
+            machine = slice_machines(machine, root.count)
+        except SimulationError as exc:  # pragma: no cover - guarded above
+            raise StrategyError(str(exc)) from exc
+        body = root.inner or Single()
+    lowering = _lower_body(body, machine, graph)
+    # Provenance keeps the full tree (machines root included): the plan-cache
+    # key and the compiled model's strategy must distinguish machine counts.
+    lowering.strategy = root
+    lowering.machine = machine
+    return lowering
 
-    groups = root.groups
+
+def _lower_body(
+    body: Strategy, machine: Topology, graph: Optional[Graph]
+) -> StrategyLowering:
+    """Lower the sub-machine part of the tree (everything under ``machines``)."""
+    if not isinstance(body, DataParallel):
+        return _lower_node(body, machine, graph)
+
+    groups = body.groups
     if machine.num_devices % groups:
         raise StrategyError(
-            f"{root._segment()!r} needs the device count "
+            f"{body._segment()!r} needs the device count "
             f"({machine.num_devices}) to be divisible by its {groups} groups"
         )
     group_devices = machine.num_devices // groups
-    sub_machine = replace(machine, devices=list(machine.devices[:group_devices]))
-    inner = _lower_node(root.inner or Single(), sub_machine, graph)
+    sub_machine = slice_topology(machine, group_devices)
+    inner = _lower_node(body.inner or Single(), sub_machine, graph)
     options: Dict[str, object] = {
         "replica_groups": groups,
         "inner": inner.backend,
@@ -184,7 +223,7 @@ def lower_strategy(
     if inner.options:
         options["inner_options"] = dict(inner.options)
     return StrategyLowering(
-        root,
+        body,
         "hybrid",
         options,
         plan_workers=inner.plan_workers,
@@ -193,19 +232,23 @@ def lower_strategy(
     )
 
 
-def weight_shards(strategy: Strategy, machine: MachineSpec) -> int:
+def weight_shards(strategy: Strategy, machine: Topology) -> int:
     """How many ways the strategy shards the *weights* across devices.
 
-    ``dp`` replicates weights (no sharding); ``pipeline`` stages, ``tofu``
-    partitions, and layer-wise ``placement`` split them.  The batch-search
-    evaluators use this to estimate the persistent per-device footprint
-    (``3 W / shards``) before probing.
+    ``machines`` scopes the hardware and ``dp`` replicates weights (no
+    sharding); ``pipeline`` stages, ``tofu`` partitions, and layer-wise
+    ``placement`` split them.  The batch-search evaluators use this to
+    estimate the persistent per-device footprint (``3 W / shards``) before
+    probing.
     """
     root = normalize(strategy)
     devices = machine.num_devices
     shards = 1
     for node in root.chain():
-        if isinstance(node, DataParallel):
+        if isinstance(node, Machines):
+            if node.count <= machine.num_machines:
+                devices = slice_machines(machine, node.count).num_devices
+        elif isinstance(node, DataParallel):
             if devices % node.groups == 0:
                 devices //= node.groups
         elif isinstance(node, Pipeline):

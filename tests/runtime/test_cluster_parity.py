@@ -1,0 +1,105 @@
+"""Degenerate-cluster parity: a ``ClusterSpec`` of one machine must be
+indistinguishable from the bare ``MachineSpec`` across *every* registered
+execution backend — identical ``LoweredProgram`` metadata and identical
+simulated timing.  This is the refactor's safety net: the hierarchical
+topology may add levels, but the flat case keeps its exact numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.recursive import recursive_partition
+from repro.runtime import Executor, available_execution_backends
+from repro.runtime.passes import round_robin_layer_placement
+from repro.sim.device import ClusterSpec, k80_8gpu_machine
+
+MACHINE = k80_8gpu_machine(4)
+CLUSTER = ClusterSpec(machines=[MACHINE])
+
+
+def _backend_setup(name, graph):
+    """(options, plan) each registered backend needs on the 4-GPU fixture."""
+    if name == "placement":
+        return {
+            "device_of_node": round_robin_layer_placement(graph, 4)
+        }, None
+    if name == "tofu-partitioned":
+        return {}, recursive_partition(graph, 4)
+    if name == "hybrid":
+        return {
+            "replica_groups": 2, "inner": "tofu-partitioned",
+        }, recursive_partition(graph, 2)
+    if name == "pipeline":
+        return {"num_stages": 2, "num_microbatches": 4}, None
+    return {}, None
+
+
+@pytest.fixture(
+    scope="module", params=["mlp_bundle", "rnn_bundle"], ids=["mlp", "rnn"]
+)
+def bundle(request):
+    return request.getfixturevalue(request.param)
+
+
+@pytest.mark.parametrize("backend", sorted(available_execution_backends()))
+def test_single_machine_cluster_matches_bare_machine(bundle, backend):
+    options, plan = _backend_setup(backend, bundle.graph)
+    executor = Executor()
+
+    on_machine = executor.run(
+        bundle.graph, plan=plan, machine=MACHINE,
+        backend=backend, backend_options=options,
+    )
+    on_cluster = executor.run(
+        bundle.graph, plan=plan, machine=CLUSTER,
+        backend=backend, backend_options=options,
+    )
+
+    # Byte-identical LoweredProgram metadata...
+    assert on_cluster.program.backend == on_machine.program.backend
+    assert on_cluster.program.num_devices == on_machine.program.num_devices
+    assert (
+        on_cluster.program.per_device_memory
+        == on_machine.program.per_device_memory
+    )
+    assert (
+        on_cluster.program.total_comm_bytes
+        == on_machine.program.total_comm_bytes
+    )
+    assert on_cluster.program.stats == on_machine.program.stats
+    assert set(on_cluster.program.tasks) == set(on_machine.program.tasks)
+    for name, task in on_machine.program.tasks.items():
+        twin = on_cluster.program.tasks[name]
+        assert twin.device == task.device
+        assert twin.duration == task.duration
+        assert twin.comm_bytes == task.comm_bytes
+
+    # ... and identical simulated timing, exactly (not approximately).
+    assert (
+        on_cluster.result.iteration_time == on_machine.result.iteration_time
+    )
+    assert (
+        on_cluster.result.per_device_compute_time
+        == on_machine.result.per_device_compute_time
+    )
+    assert (
+        on_cluster.result.per_device_comm_time
+        == on_machine.result.per_device_comm_time
+    )
+    assert on_cluster.result.oom == on_machine.result.oom
+    assert on_cluster.result.network_busy_time() == 0.0
+
+
+def test_compile_parity_on_degenerate_cluster(mlp_bundle):
+    """The full compile path (plan search included) is machine/cluster
+    agnostic for one machine — same strategy, same iteration time."""
+    import repro
+
+    on_machine = repro.compile(mlp_bundle.graph, "dp:2/tofu", MACHINE)
+    on_cluster = repro.compile(mlp_bundle.graph, "dp:2/tofu", CLUSTER)
+    assert on_cluster.iteration_time == on_machine.iteration_time
+    assert (
+        on_cluster.program.total_comm_bytes
+        == on_machine.program.total_comm_bytes
+    )

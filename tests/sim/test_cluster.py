@@ -1,0 +1,230 @@
+"""The hierarchical topology model: ClusterSpec structure, link resolution,
+slicing, presets, and the versioned machine/cluster serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.device import (
+    MACHINE_PAYLOAD_VERSION,
+    TOPOLOGY_PRESETS,
+    ClusterSpec,
+    DeviceSpec,
+    Link,
+    MachineSpec,
+    as_cluster,
+    cluster_of,
+    k80_8gpu_machine,
+    machine_from_dict,
+    machine_to_dict,
+    slice_machines,
+    slice_topology,
+    topology_preset,
+    v100_machine,
+)
+
+
+@pytest.fixture
+def cluster():
+    return cluster_of(k80_8gpu_machine(4), 2)
+
+
+class TestClusterStructure:
+    def test_global_device_indexing(self, cluster):
+        assert cluster.num_machines == 2
+        assert cluster.num_devices == 8
+        assert len(cluster.devices) == 8
+        assert cluster.machine_of(0) == 0
+        assert cluster.machine_of(3) == 0
+        assert cluster.machine_of(4) == 1
+        assert cluster.machine_of(7) == 1
+        machine, local = cluster.locate(6)
+        assert local == 2 and machine is cluster.machines[1]
+        assert cluster.devices_of_machine(1) == [4, 5, 6, 7]
+
+    def test_device_index_out_of_range(self, cluster):
+        with pytest.raises(SimulationError, match="out of range"):
+            cluster.machine_of(8)
+        with pytest.raises(SimulationError, match="out of range"):
+            cluster.link_between(0, 99)
+
+    def test_machinespec_surface_mirrored(self, cluster):
+        machine = cluster.machines[0]
+        assert cluster.kernel_launch_overhead == machine.kernel_launch_overhead
+        assert cluster.p2p_bandwidth == machine.p2p_bandwidth
+        assert cluster.cpu_bandwidth == machine.cpu_bandwidth
+        assert cluster.cpu_memory == machine.cpu_memory
+        assert cluster.device(5).name == machine.device(1).name
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(SimulationError, match="at least one machine"):
+            ClusterSpec(machines=[])
+
+    def test_heterogeneous_machine_sizes(self):
+        cluster = ClusterSpec(
+            machines=[k80_8gpu_machine(2), k80_8gpu_machine(3)]
+        )
+        assert cluster.num_devices == 5
+        assert cluster.machine_of(1) == 0
+        assert cluster.machine_of(2) == 1
+        assert cluster.devices_of_machine(1) == [2, 3, 4]
+
+
+class TestLinkResolution:
+    def test_intra_machine_link_is_destination_p2p(self, cluster):
+        link = cluster.link_between(0, 1)
+        assert link == Link(
+            kind="p2p", key="p2p:1", bandwidth=cluster.machines[0].p2p_bandwidth
+        )
+        # Same within the second machine, keyed by the global device index.
+        assert cluster.link_between(5, 6).key == "p2p:6"
+
+    def test_cross_machine_link_is_destination_nic(self, cluster):
+        link = cluster.link_between(0, 5)
+        assert link.kind == "net"
+        assert link.key == "net:m1"
+        assert link.bandwidth == cluster.network_bandwidth
+        assert link.latency == cluster.network_latency
+        # Opposite direction lands on machine 0's NIC.
+        assert cluster.link_between(5, 0).key == "net:m0"
+
+    def test_host_link_is_per_machine(self, cluster):
+        assert cluster.host_link(0).key == "cpu:m0"
+        assert cluster.host_link(6).key == "cpu:m1"
+        assert cluster.host_link(6).bandwidth == (
+            cluster.machines[1].cpu_bandwidth
+        )
+
+    def test_bare_machine_mirrors_single_machine_cluster(self):
+        machine = k80_8gpu_machine(4)
+        wrapped = as_cluster(machine)
+        assert wrapped.num_machines == 1
+        for dst in range(4):
+            assert machine.link_between(0, dst) == wrapped.link_between(0, dst)
+        assert machine.host_link(2) == wrapped.host_link(2)
+
+    def test_transfer_time_includes_latency(self, cluster):
+        net = cluster.link_between(0, 4)
+        expected = 1e9 / cluster.network_bandwidth + cluster.network_latency
+        assert net.transfer_time(1e9) == pytest.approx(expected)
+        p2p = cluster.link_between(0, 1)
+        assert p2p.transfer_time(1e9) == pytest.approx(1e9 / p2p.bandwidth)
+
+
+class TestSlicing:
+    def test_slice_within_first_machine_collapses_to_machine(self, cluster):
+        sliced = slice_topology(cluster, 2)
+        assert isinstance(sliced, MachineSpec)
+        assert sliced.num_devices == 2
+
+    def test_slice_spanning_machines_keeps_cluster(self, cluster):
+        sliced = slice_topology(cluster, 6)
+        assert isinstance(sliced, ClusterSpec)
+        assert sliced.num_machines == 2
+        assert sliced.num_devices == 6
+        assert sliced.machines[1].num_devices == 2
+
+    def test_slice_bounds(self, cluster):
+        with pytest.raises(SimulationError):
+            slice_topology(cluster, 0)
+        with pytest.raises(SimulationError):
+            slice_topology(cluster, 9)
+
+    def test_slice_machines(self, cluster):
+        assert slice_machines(cluster, 2) is cluster
+        one = slice_machines(cluster, 1)
+        assert isinstance(one, MachineSpec) and one.num_devices == 4
+        with pytest.raises(SimulationError):
+            slice_machines(cluster, 3)
+
+    def test_cluster_of_one_machine_is_the_machine(self):
+        machine = k80_8gpu_machine(2)
+        assert cluster_of(machine, 1) is machine
+
+
+class TestPresets:
+    def test_presets_build(self):
+        for name in TOPOLOGY_PRESETS:
+            topology = topology_preset(name)
+            assert topology.num_devices >= 1
+
+    def test_p2_8xlarge_x4(self):
+        cluster = topology_preset("p2_8xlarge_x4")
+        assert cluster.num_machines == 4
+        assert cluster.num_devices == 32
+
+    def test_unknown_preset(self):
+        with pytest.raises(SimulationError, match="unknown topology preset"):
+            topology_preset("dgx-missing")
+
+
+class TestSerialization:
+    def test_machine_round_trip_is_versioned(self):
+        machine = v100_machine(2)
+        payload = machine_to_dict(machine)
+        assert payload["version"] == MACHINE_PAYLOAD_VERSION
+        assert payload["kind"] == "machine"
+        assert machine_from_dict(payload) == machine
+
+    def test_cluster_round_trip(self):
+        cluster = cluster_of(
+            k80_8gpu_machine(2), 3, network_bandwidth=5e9, network_latency=1e-5
+        )
+        restored = machine_from_dict(machine_to_dict(cluster))
+        assert restored == cluster
+
+    def test_legacy_payload_without_version_still_loads(self):
+        # The exact shape machine_to_dict emitted before versioning.
+        payload = {
+            "devices": [
+                {"name": "gpu0", "memory_bytes": 1 << 30,
+                 "peak_flops": 1e12, "memory_bandwidth": 100e9},
+            ],
+            "p2p_bandwidth": 21e9,
+            "cpu_bandwidth": 10e9,
+            "cpu_memory": 4 << 30,
+            "kernel_launch_overhead": 8e-6,
+        }
+        machine = machine_from_dict(payload)
+        assert isinstance(machine, MachineSpec)
+        assert machine.num_devices == 1
+        assert machine.device(0).memory_bytes == 1 << 30
+
+    def test_unknown_version_rejected_cleanly(self):
+        payload = machine_to_dict(k80_8gpu_machine(1))
+        payload["version"] = 99
+        with pytest.raises(SimulationError, match="unsupported machine payload"):
+            machine_from_dict(payload)
+
+    def test_unknown_kind_rejected(self):
+        payload = machine_to_dict(k80_8gpu_machine(1))
+        payload["kind"] = "rack"
+        with pytest.raises(SimulationError, match="unknown machine payload kind"):
+            machine_from_dict(payload)
+
+    def test_unknown_fields_raise_library_error_not_typeerror(self):
+        payload = machine_to_dict(k80_8gpu_machine(1))
+        payload["nvlink_bandwidth"] = 300e9
+        with pytest.raises(SimulationError, match="unknown field"):
+            machine_from_dict(payload)
+        device_payload = machine_to_dict(k80_8gpu_machine(1))
+        device_payload["devices"][0]["cores"] = 80
+        with pytest.raises(SimulationError, match="unknown device field"):
+            machine_from_dict(device_payload)
+
+    def test_non_mapping_payload_rejected(self):
+        with pytest.raises(SimulationError, match="must be a mapping"):
+            machine_from_dict([1, 2, 3])
+
+    def test_empty_cluster_payload_rejected(self):
+        payload = machine_to_dict(cluster_of(k80_8gpu_machine(1), 2))
+        payload["machines"] = []
+        with pytest.raises(SimulationError, match="no machines"):
+            machine_from_dict(payload)
+
+
+def test_devicespec_defaults_are_k80():
+    device = DeviceSpec(name="gpu0")
+    assert device.fits(device.memory_bytes)
+    assert not device.fits(device.memory_bytes + 1)

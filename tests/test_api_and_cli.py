@@ -183,3 +183,91 @@ class TestCLI:
                          "--jobs", "2"]) == 0
         out = capsys.readouterr().out
         assert "throughput" in out
+
+
+class TestClusterCLI:
+    MLP = ["--model", "mlp", "--batch", "32", "--hidden", "128", "--layers", "4"]
+
+    def test_compile_with_machines_flag(self, capsys):
+        assert cli_main(["compile", *self.MLP, "--workers", "2",
+                         "--machines", "2",
+                         "--strategy", "machines:2/dp:2/tofu"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: 2 machines x 2 GPUs" in out
+        assert "strategy: machines:2/dp:2/tofu" in out
+        assert "throughput" in out
+
+    def test_compile_with_preset(self, capsys):
+        assert cli_main(["compile", *self.MLP, "--preset", "p2_8xlarge_x2",
+                         "--strategy", "machines:2/dp:2/tofu",
+                         "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "topology: 2 machines x 8 GPUs" in out
+        assert "executor: hybrid" in out
+
+    def test_simulate_pipeline_on_cluster(self, capsys):
+        assert cli_main(["simulate", *self.MLP, "--workers", "2",
+                         "--machines", "2", "--executor", "pipeline",
+                         "--stages", "2", "--microbatches", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline: 2 stages" in out
+
+    def test_auto_dry_run_lists_machine_candidates(self, capsys):
+        assert cli_main(["compile", *self.MLP, "--workers", "2",
+                         "--machines", "2", "--strategy", "auto",
+                         "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "machines:2/tofu" in out
+
+    def test_machines_strategy_without_cluster_errors_cleanly(self, capsys):
+        assert cli_main(["compile", *self.MLP, "--workers", "4",
+                         "--strategy", "machines:2/tofu"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "at least 2 machine" in err
+
+
+class TestCacheCLI:
+    ARGS = ["--model", "mlp", "--batch", "32", "--hidden", "128",
+            "--layers", "2", "--workers", "4"]
+
+    def test_export_import_round_trip(self, tmp_path, capsys):
+        source = tmp_path / "source"
+        target = tmp_path / "target"
+        bundle = tmp_path / "plans.json"
+        assert cli_main(["partition", *self.ARGS,
+                         "--cache-dir", str(source)]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "export", "--cache-dir", str(source),
+                         "--output", str(bundle)]) == 0
+        assert "exported 1 plan(s)" in capsys.readouterr().out
+        assert cli_main(["cache", "import", "--cache-dir", str(target),
+                         "--input", str(bundle)]) == 0
+        assert "imported 1 plan(s)" in capsys.readouterr().out
+        # The imported store hits where the source store would.
+        assert cli_main(["partition", *self.ARGS,
+                         "--cache-dir", str(target)]) == 0
+        assert "1 hits" in capsys.readouterr().out
+
+    def test_import_skips_existing_unless_replace(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        bundle = tmp_path / "plans.json"
+        assert cli_main(["partition", *self.ARGS,
+                         "--cache-dir", str(store)]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "export", "--cache-dir", str(store),
+                         "--output", str(bundle)]) == 0
+        capsys.readouterr()
+        assert cli_main(["cache", "import", "--cache-dir", str(store),
+                         "--input", str(bundle)]) == 0
+        assert "0 already present" not in capsys.readouterr().out
+        assert cli_main(["cache", "import", "--cache-dir", str(store),
+                         "--input", str(bundle), "--replace"]) == 0
+        assert "imported 1 plan(s)" in capsys.readouterr().out
+
+    def test_import_rejects_garbage_bundle(self, tmp_path, capsys):
+        bundle = tmp_path / "bad.json"
+        bundle.write_text('{"format": "something-else"}')
+        assert cli_main(["cache", "import", "--cache-dir", str(tmp_path / "s"),
+                         "--input", str(bundle)]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "tofu-plan-cache" in err

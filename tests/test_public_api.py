@@ -12,12 +12,14 @@ import importlib
 import pytest
 
 REPRO_EXPORTS = [
+    "ClusterSpec",
     "CompiledModel",
     "ExecutionError",
     "Executor",
     "ExecutorConfig",
     "GraphError",
     "LoweredProgram",
+    "MachineSpec",
     "NoStrategyError",
     "NonAffineError",
     "OutOfMemoryError",
@@ -34,12 +36,14 @@ REPRO_EXPORTS = [
     "__version__",
     "available_backends",
     "available_execution_backends",
+    "cluster_of",
     "compile",
     "compile_model",
     "default_executor",
     "default_planner",
     "describe_operator",
     "dp",
+    "machines",
     "parse_strategy",
     "partition_and_simulate",
     "partition_graph",
@@ -50,6 +54,7 @@ REPRO_EXPORTS = [
     "single",
     "swap",
     "tofu",
+    "topology_preset",
 ]
 
 STRATEGY_EXPORTS = [
@@ -61,6 +66,7 @@ STRATEGY_EXPORTS = [
     "combinator_names",
     "dp",
     "lower_strategy",
+    "machines",
     "normalize",
     "parse",
     "parse_strategy",
@@ -141,5 +147,5 @@ def test_strategy_combinators_cover_execution_styles():
     from repro.strategy import combinator_names
 
     assert set(combinator_names()) == {
-        "tofu", "single", "placement", "swap", "dp", "pipeline",
+        "tofu", "single", "placement", "swap", "dp", "pipeline", "machines",
     }
