@@ -1,0 +1,323 @@
+"""Shared two-tier cache plumbing.
+
+Both content-addressed stores of the pipeline — the partition-plan cache
+(:mod:`repro.planner.cache`) and the lowered-program cache
+(:mod:`repro.runtime.cache`) — need exactly the same machinery: an in-memory
+LRU over JSON-serialisable payloads, an optional on-disk store (one file per
+key) with size accounting and least-recently-used eviction under a byte
+budget, hit/miss bookkeeping, and ``export``/``import`` bundles for moving a
+store between machines.  :class:`TwoTierCache` is that machinery, factored
+out once; the two caches subclass it with their payload codec and bundle
+format name.
+
+Content-address helpers (:func:`graph_signature`, :func:`machine_signature`,
+:func:`content_key`) also live here so both key schemes hash identical
+inputs identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+from repro.graph.serialization import graph_to_dict
+from repro.sim.device import Topology
+
+
+# ---------------------------------------------------------------------------
+# Content addressing
+# ---------------------------------------------------------------------------
+def graph_signature(graph: Graph) -> str:
+    """Content hash of a graph (tensors, nodes, attrs, metadata)."""
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def machine_signature(machine: Optional[Topology]) -> str:
+    """Content hash of a machine or cluster model (``"no-machine"`` when
+    unspecified) — a one-machine cluster and its bare machine hash
+    differently, as do clusters differing only in machine count or network
+    parameters."""
+    if machine is None:
+        return "no-machine"
+    payload = json.dumps(
+        dataclasses.asdict(machine), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def content_key(fields: Dict) -> str:
+    """SHA-256 over the canonical JSON encoding of ``fields``.
+
+    Raises ``TypeError`` when a field is not JSON-serialisable — such inputs
+    have no stable content address, so callers bypass their cache for them.
+    """
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# The shared store
+# ---------------------------------------------------------------------------
+class TwoTierCache:
+    """In-memory LRU over JSON payload dicts, with an optional disk tier.
+
+    Subclasses set three class attributes: ``export_format`` (the bundle
+    format marker), ``export_version``, and ``payload_field`` (the JSON key
+    a disk entry stores its payload under — ``"plan"`` for plans,
+    ``"program"`` for lowered programs, which keeps the plan cache's
+    pre-refactor on-disk layout byte-compatible), plus ``description`` for
+    error messages.
+
+    Payloads are plain dictionaries; value↔payload conversion (e.g.
+    ``plan_to_dict``/``plan_from_dict``) belongs to the subclass, which keeps
+    the invariant that every hit reconstructs a fresh object — callers can
+    mutate what they get back without corrupting the store.
+    """
+
+    export_format: str = "tofu-cache"
+    export_version: int = 1
+    payload_field: str = "entry"
+    description: str = "cache"
+
+    def __init__(
+        self,
+        capacity: int = 128,
+        cache_dir: Optional[str] = None,
+        *,
+        max_bytes: Optional[int] = None,
+    ):
+        self.capacity = max(0, capacity)
+        self.cache_dir = cache_dir
+        self.max_bytes = max_bytes
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.disk_evictions = 0
+        if cache_dir:
+            try:
+                os.makedirs(cache_dir, exist_ok=True)
+            except OSError as exc:
+                raise ReproError(
+                    f"{self.description} directory {cache_dir!r} is not "
+                    f"usable: {exc}"
+                ) from exc
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0 or self.cache_dir is not None
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def info(self) -> Dict[str, int]:
+        info = {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
+        if self.cache_dir:
+            info["disk_bytes"] = self.disk_bytes()
+            info["disk_entries"] = len(self._disk_entries())
+            info["disk_evictions"] = self.disk_evictions
+        return info
+
+    def disk_bytes(self) -> int:
+        """Total size of the on-disk store (0 without a disk tier)."""
+        return sum(size for _, size, _ in self._disk_entries())
+
+    # ------------------------------------------------------------- payloads
+    def get_payload(self, key: str) -> Optional[Dict]:
+        """The stored payload under ``key`` (memory first, then disk)."""
+        payload = self._memory.get(key)
+        if payload is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            return payload
+        payload = self._disk_get(key)
+        if payload is not None:
+            self._memory_put(key, payload)
+            self.hits += 1
+            return payload
+        self.misses += 1
+        return None
+
+    def put_payload(self, key: str, payload: Dict) -> None:
+        """Store ``payload`` in both tiers."""
+        self._memory_put(key, payload)
+        self._disk_put(key, payload)
+
+    # --------------------------------------------------------- export/import
+    def export_to(self, path: str) -> int:
+        """Bundle every on-disk entry into one JSON file at ``path``.
+
+        Content addresses are host-independent (every key input is
+        canonically encoded), so a bundle exported on one machine imports
+        losslessly on another.  Returns the number of exported entries;
+        requires a disk tier.
+        """
+        if not self.cache_dir:
+            raise ReproError(
+                f"{self.description} export needs a disk tier "
+                f"(configure cache_dir)"
+            )
+        entries: Dict[str, Dict] = {}
+        for file_path, _, _ in self._disk_entries():
+            try:
+                with open(file_path, "r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+                entries[entry["key"]] = entry[self.payload_field]
+            except (OSError, ValueError, KeyError):
+                continue  # unreadable/corrupt entries are skipped, not fatal
+        bundle = {
+            "format": self.export_format,
+            "version": self.export_version,
+            "entries": entries,
+        }
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(bundle, fh)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def import_from(self, path: str, *, replace: bool = False) -> Dict[str, int]:
+        """Merge a bundle written by :meth:`export_to` into the disk store.
+
+        Existing entries are kept unless ``replace=True`` (content addresses
+        make key collisions equal-payload collisions, so keeping is safe).
+        Returns ``{"imported": ..., "skipped": ...}``; requires a disk tier.
+        """
+        if not self.cache_dir:
+            raise ReproError(
+                f"{self.description} import needs a disk tier "
+                f"(configure cache_dir)"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                bundle = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"{self.description} bundle {path!r} is not readable JSON: "
+                f"{exc}"
+            ) from exc
+        if bundle.get("format") != self.export_format:
+            raise ReproError(
+                f"{path!r} is not a {self.export_format} bundle "
+                f"(format={bundle.get('format')!r})"
+            )
+        if bundle.get("version") != self.export_version:
+            raise ReproError(
+                f"unsupported {self.description} bundle version "
+                f"{bundle.get('version')!r} (this library reads version "
+                f"{self.export_version})"
+            )
+        imported = skipped = 0
+        for key, payload in (bundle.get("entries") or {}).items():
+            if not replace and os.path.exists(self._path(key)):
+                skipped += 1
+                continue
+            self._disk_put(key, payload)
+            imported += 1
+        return {"imported": imported, "skipped": skipped}
+
+    def clear(self) -> None:
+        """Empty both tiers (memory and, when configured, the disk store)."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_evictions = 0
+        if self.cache_dir:
+            for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------- internals
+    def _memory_put(self, key: str, payload: Dict) -> None:
+        if self.capacity <= 0:
+            return
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.json")
+
+    def _disk_get(self, key: str) -> Optional[Dict]:
+        if not self.cache_dir:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            payload = entry[self.payload_field]
+        except (OSError, ValueError, KeyError):
+            return None
+        try:
+            os.utime(path, None)  # refresh LRU recency on hit
+        except OSError:
+            pass
+        return payload
+
+    def _disk_put(self, key: str, payload: Dict) -> None:
+        if not self.cache_dir:
+            return
+        entry = json.dumps({"key": key, self.payload_field: payload})
+        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(entry)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._disk_enforce_budget(keep=self._path(key))
+
+    def _disk_entries(self):
+        """``(path, size, mtime)`` of every stored entry file."""
+        if not self.cache_dir:
+            return []
+        entries = []
+        for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
+            try:
+                stat = os.stat(path)
+            except OSError:
+                continue
+            entries.append((path, stat.st_size, stat.st_mtime))
+        return entries
+
+    def _disk_enforce_budget(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used files until the store fits ``max_bytes``.
+
+        ``keep`` protects the entry just written: even when one payload alone
+        exceeds the budget the caller's own entry must survive the sweep, so
+        hit-after-put stays guaranteed within a process.
+        """
+        if self.max_bytes is None or not self.cache_dir:
+            return
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort(key=lambda item: item[2])  # oldest mtime first
+        for path, size, _ in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and os.path.abspath(path) == os.path.abspath(keep):
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            self.disk_evictions += 1

@@ -63,6 +63,8 @@ from repro.ops.catalog import mxnet_catalog_counts
 from repro.planner import Planner, PlannerConfig, available_backends, get_backend
 from repro.runtime import (
     Executor,
+    ExecutorConfig,
+    ProgramCache,
     available_execution_backends,
     get_execution_backend,
 )
@@ -255,7 +257,8 @@ def cmd_simulate(args) -> int:
                 machine=slice_topology(machine, group_workers),
                 backend=args.backend,
             )
-    report = Executor().run(
+    executor = Executor(ExecutorConfig(profile=args.profile))
+    report = executor.run(
         bundle.graph,
         plan=plan,
         machine=machine,
@@ -265,6 +268,8 @@ def cmd_simulate(args) -> int:
     print(f"executor: {executor_name}")
     print(report.summary())
     print(f"throughput: {report.throughput(bundle.batch_size):.1f} samples/s")
+    if executor.profile_timer is not None:
+        print(executor.profile_timer.summary())
     return 0
 
 
@@ -299,11 +304,13 @@ def cmd_compile(args) -> int:
             lowering = lower_strategy(strategy, machine, graph=bundle.graph)
             print(lowering.describe())
             return 0
+    executor = Executor(ExecutorConfig(profile=args.profile))
     model = compile_model(
         bundle.graph,
         strategy,
         machine,
         planner=_make_planner(args),
+        executor=executor,
     )
     print(model.summary())
     print(f"throughput: {model.throughput(bundle.batch_size):.1f} samples/s")
@@ -320,24 +327,69 @@ def cmd_compile(args) -> int:
     if args.save:
         model.save(args.save)
         print(f"saved: {args.save}")
+    if executor.profile_timer is not None:
+        print(executor.profile_timer.summary())
     return 0
 
 
+def _open_store(kind: str, cache_dir: str):
+    """The on-disk store of one cache kind (``plan`` or ``program``)."""
+    if kind == "program":
+        return ProgramCache(cache_dir=cache_dir)
+    return Planner(PlannerConfig(cache_dir=cache_dir)).cache
+
+
 def cmd_cache_export(args) -> int:
-    cache = Planner(PlannerConfig(cache_dir=args.cache_dir)).cache
+    cache = _open_store(args.kind, args.cache_dir)
     count = cache.export_to(args.output)
-    print(f"exported {count} plan(s) from {args.cache_dir} to {args.output}")
+    print(f"exported {count} {args.kind}(s) from {args.cache_dir} to {args.output}")
     return 0
 
 
 def cmd_cache_import(args) -> int:
-    cache = Planner(PlannerConfig(cache_dir=args.cache_dir)).cache
+    cache = _open_store(args.kind, args.cache_dir)
     stats = cache.import_from(args.input, replace=args.replace)
     print(
-        f"imported {stats['imported']} plan(s) into {args.cache_dir} "
+        f"imported {stats['imported']} {args.kind}(s) into {args.cache_dir} "
         f"({stats['skipped']} already present"
         f"{'' if args.replace else ', use --replace to overwrite'})"
     )
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    from repro.planner.core import default_planner
+    from repro.runtime.cache import default_program_cache
+
+    stores = [
+        (
+            "plan cache",
+            Planner(PlannerConfig(cache_dir=args.cache_dir)).cache
+            if args.cache_dir else default_planner().cache,
+        ),
+        (
+            "program cache",
+            ProgramCache(cache_dir=args.program_cache_dir)
+            if args.program_cache_dir else default_program_cache(),
+        ),
+    ]
+    for name, cache in stores:
+        info = cache.info()
+        line = (
+            f"{name}: {info['size']} in-memory entr"
+            f"{'y' if info['size'] == 1 else 'ies'}, "
+            f"{info['hits']} hit(s), {info['misses']} miss(es)"
+        )
+        if "disk_entries" in info:
+            line += (
+                f"; disk: {info['disk_entries']} entr"
+                f"{'y' if info['disk_entries'] == 1 else 'ies'}, "
+                f"{info['disk_bytes']} bytes, "
+                f"{info['disk_evictions']} eviction(s)"
+            )
+        else:
+            line += "; disk: not configured"
+        print(line)
     return 0
 
 
@@ -390,6 +442,11 @@ def main(argv=None) -> int:
         default=None,
         help="write the compiled model (plan + program metadata) to this path",
     )
+    p_compile.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and cache counters of the compile",
+    )
     p_compile.set_defaults(func=cmd_compile)
 
     p_partition = sub.add_parser("partition", help="search a partition plan")
@@ -435,17 +492,28 @@ def main(argv=None) -> int:
         default="tofu-partitioned",
         help="inner execution backend for the hybrid executor",
     )
+    p_simulate.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings and cache counters of the run",
+    )
     p_simulate.set_defaults(func=cmd_simulate)
 
     p_cache = sub.add_parser(
-        "cache", help="share the on-disk plan cache across machines"
+        "cache", help="inspect and share the on-disk plan/program caches"
     )
     cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
     p_cache_export = cache_sub.add_parser(
         "export", help="bundle a --cache-dir store into one JSON file"
     )
     p_cache_export.add_argument(
-        "--cache-dir", required=True, help="plan-cache directory to export"
+        "--kind",
+        choices=["plan", "program"],
+        default="plan",
+        help="which store the directory holds (default: plan)",
+    )
+    p_cache_export.add_argument(
+        "--cache-dir", required=True, help="cache directory to export"
     )
     p_cache_export.add_argument(
         "--output", required=True, help="bundle file to write"
@@ -455,7 +523,13 @@ def main(argv=None) -> int:
         "import", help="merge an exported bundle into a --cache-dir store"
     )
     p_cache_import.add_argument(
-        "--cache-dir", required=True, help="plan-cache directory to import into"
+        "--kind",
+        choices=["plan", "program"],
+        default="plan",
+        help="which store the directory holds (default: plan)",
+    )
+    p_cache_import.add_argument(
+        "--cache-dir", required=True, help="cache directory to import into"
     )
     p_cache_import.add_argument(
         "--input", required=True, help="bundle file written by `cache export`"
@@ -466,6 +540,21 @@ def main(argv=None) -> int:
         help="overwrite entries already present in the store",
     )
     p_cache_import.set_defaults(func=cmd_cache_import)
+    p_cache_stats = cache_sub.add_parser(
+        "stats",
+        help="entry counts, bytes, and hit/miss counters of both caches",
+    )
+    p_cache_stats.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk plan store to report (default: the in-process cache)",
+    )
+    p_cache_stats.add_argument(
+        "--program-cache-dir",
+        default=None,
+        help="on-disk program store to report (default: the in-process cache)",
+    )
+    p_cache_stats.set_defaults(func=cmd_cache_stats)
 
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
     p_coverage.set_defaults(func=cmd_coverage)

@@ -34,6 +34,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
+from repro import perf
 from repro.errors import ExecutionError, PartitionError, StrategyError
 from repro.graph.graph import Graph
 from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
@@ -261,6 +262,20 @@ def _program_metadata(
     return metadata
 
 
+def _attach_profile(model: CompiledModel, executor: Executor) -> None:
+    """Surface a profiling executor's timer as ``metadata["profile"]``.
+
+    The snapshot is cumulative over the executor's lifetime, so profiling
+    one ``compile`` in isolation means giving it a fresh
+    ``Executor(ExecutorConfig(profile=True))`` — which is what the CLI's
+    ``--profile`` flag does.  A warm compile's snapshot then shows the
+    ``plan_cache.hit``/``program_cache.hit`` counters and *no* ``pass.*`` or
+    ``lower.*`` stages: every lowering pass was skipped.
+    """
+    if executor.profile_timer is not None:
+        model.metadata["profile"] = executor.profile_timer.snapshot()
+
+
 def compile(
     graph: Graph,
     strategy: Union[Strategy, str] = "tofu",
@@ -349,67 +364,78 @@ def compile(
             f"strategy must be a Strategy or string, got {type(strategy).__name__}"
         )
     machine = _resolve_machine(machine, num_workers, strategy)
-    lowering = lower_strategy(strategy, machine, graph=graph)
-    # machines(M) narrows the topology; everything below executes on the slice.
-    exec_machine = lowering.machine if lowering.machine is not None else machine
-
-    if plan is None and lowering.plan_workers:
-        planner = planner or default_planner()
-        plan = planner.plan(
-            graph,
-            lowering.plan_workers,
-            machine=lowering.plan_machine or exec_machine,
-            backend=lowering.plan_backend,
-            backend_options=plan_options,
-            strategy=lowering.strategy,
-        )
-
-    if not simulate:
-        return CompiledModel(
-            strategy=lowering.strategy,
-            machine=machine,
-            plan=plan,
-            metadata={"backend": lowering.backend},
-        )
-
-    options = dict(lowering.options)
-    if backend_options:
-        options.update(backend_options)
     executor = executor or Executor()
-    if lower_only:
-        program = executor.lower(
+    # A profiling executor's timer is active over the whole flow — strategy
+    # lowering, the planner search, every lowering pass, the simulate loop —
+    # and lands on the model as metadata["profile"].
+    with perf.activation(executor.profile_timer):
+        lowering = lower_strategy(strategy, machine, graph=graph)
+        # machines(M) narrows the topology; everything below executes on the
+        # slice.
+        exec_machine = lowering.machine if lowering.machine is not None else machine
+
+        if plan is None and lowering.plan_workers:
+            planner = planner or default_planner()
+            plan = planner.plan(
+                graph,
+                lowering.plan_workers,
+                machine=lowering.plan_machine or exec_machine,
+                backend=lowering.plan_backend,
+                backend_options=plan_options,
+                strategy=lowering.strategy,
+            )
+
+        if not simulate:
+            model = CompiledModel(
+                strategy=lowering.strategy,
+                machine=machine,
+                plan=plan,
+                metadata={"backend": lowering.backend},
+            )
+            _attach_profile(model, executor)
+            return model
+
+        options = dict(lowering.options)
+        if backend_options:
+            options.update(backend_options)
+        if lower_only:
+            program = executor.lower(
+                graph,
+                plan=plan,
+                machine=exec_machine,
+                backend=lowering.backend,
+                backend_options=options,
+            )
+            program.strategy = str(lowering.strategy)
+            model = CompiledModel(
+                strategy=lowering.strategy,
+                machine=machine,
+                plan=program.plan if program.plan is not None else plan,
+                program=program,
+                metadata=_program_metadata(program, None),
+            )
+            _attach_profile(model, executor)
+            return model
+        report = executor.run(
             graph,
             plan=plan,
             machine=exec_machine,
             backend=lowering.backend,
             backend_options=options,
         )
-        program.strategy = str(lowering.strategy)
-        return CompiledModel(
+        program = report.program
+        if program is not None:
+            program.strategy = str(lowering.strategy)
+        model = CompiledModel(
             strategy=lowering.strategy,
             machine=machine,
-            plan=program.plan if program.plan is not None else plan,
+            plan=report.plan if report.plan is not None else plan,
             program=program,
-            metadata=_program_metadata(program, None),
+            report=report,
+            metadata=_program_metadata(program, report),
         )
-    report = executor.run(
-        graph,
-        plan=plan,
-        machine=exec_machine,
-        backend=lowering.backend,
-        backend_options=options,
-    )
-    program = report.program
-    if program is not None:
-        program.strategy = str(lowering.strategy)
-    return CompiledModel(
-        strategy=lowering.strategy,
-        machine=machine,
-        plan=report.plan if report.plan is not None else plan,
-        program=program,
-        report=report,
-        metadata=_program_metadata(program, report),
-    )
+        _attach_profile(model, executor)
+        return model
 
 
 # Re-exported under a non-shadowing name for callers that keep the builtin
@@ -469,6 +495,10 @@ def _compile_auto(
             f"{len(pool)} candidates failed or exceeded device memory)"
         )
     best.metadata["auto_sweep"] = sweep
+    if executor is not None:
+        # A profiling executor saw every candidate; re-snapshot so the
+        # winner's profile covers the whole sweep.
+        _attach_profile(best, executor)
     return best
 
 

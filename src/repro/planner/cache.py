@@ -8,14 +8,11 @@ digest over a canonical JSON encoding of exactly those four inputs, so
 planning the same WResNet/RNN twice — in one process or across runs when an
 on-disk store is configured — is a hit.
 
-Two tiers:
-
-* an in-memory LRU (``capacity`` entries, 0 disables it), and
-* an optional on-disk JSON store (``cache_dir``), one file per key, built on
-  the same serialisation helpers as :mod:`repro.graph.serialization`.  The
-  disk tier accounts its size and, under a ``max_bytes`` budget, evicts the
-  least-recently-used entries (hits refresh an entry's recency via its file
-  mtime, so warm plans survive eviction sweeps).
+The two-tier machinery (in-memory LRU + on-disk JSON store with size
+accounting, LRU eviction under a byte budget, and ``export``/``import``
+bundles) is shared with the lowered-program cache — see
+:class:`repro.caching.TwoTierCache`; this module adds the plan payload codec
+and the plan key scheme.
 
 Plans are stored as dictionaries (:func:`plan_to_dict`) and reconstructed on
 every hit, so callers can freely mutate the returned plan without corrupting
@@ -24,39 +21,24 @@ the cache.
 
 from __future__ import annotations
 
-import dataclasses
-import glob
-import hashlib
-import json
-import os
-import tempfile
-from collections import OrderedDict
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Mapping, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.caching import (
+    TwoTierCache,
+    content_key,
+    graph_signature,
+    machine_signature,
+)
 from repro.graph.graph import Graph
-from repro.graph.serialization import graph_to_dict
 from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
 from repro.sim.device import Topology
 
-
-def graph_signature(graph: Graph) -> str:
-    """Content hash of a graph (tensors, nodes, attrs, metadata)."""
-    payload = json.dumps(graph_to_dict(graph), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def machine_signature(machine: Optional[Topology]) -> str:
-    """Content hash of a machine or cluster model (``"no-machine"`` when
-    unspecified) — a one-machine cluster and its bare machine hash
-    differently, as do clusters differing only in machine count or network
-    parameters."""
-    if machine is None:
-        return "no-machine"
-    payload = json.dumps(
-        dataclasses.asdict(machine), sort_keys=True, separators=(",", ":")
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+__all__ = [
+    "PlanCache",
+    "graph_signature",
+    "machine_signature",
+    "plan_cache_key",
+]
 
 
 def plan_cache_key(
@@ -96,245 +78,28 @@ def plan_cache_key(
         # their pre-existing on-disk stores) keep their exact keys.
         to_dict = getattr(strategy, "to_dict", None)
         fields["strategy"] = to_dict() if callable(to_dict) else strategy
-    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return content_key(fields)
 
 
 EXPORT_FORMAT = "tofu-plan-cache"
 EXPORT_VERSION = 1
 
 
-class PlanCache:
+class PlanCache(TwoTierCache):
     """In-memory LRU over plan dictionaries, with an optional disk tier."""
 
-    def __init__(
-        self,
-        capacity: int = 128,
-        cache_dir: Optional[str] = None,
-        *,
-        max_bytes: Optional[int] = None,
-    ):
-        self.capacity = max(0, capacity)
-        self.cache_dir = cache_dir
-        self.max_bytes = max_bytes
-        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.disk_evictions = 0
-        if cache_dir:
-            try:
-                os.makedirs(cache_dir, exist_ok=True)
-            except OSError as exc:
-                raise ReproError(
-                    f"plan cache directory {cache_dir!r} is not usable: {exc}"
-                ) from exc
-
-    @property
-    def enabled(self) -> bool:
-        return self.capacity > 0 or self.cache_dir is not None
-
-    def __len__(self) -> int:
-        return len(self._memory)
-
-    def info(self) -> Dict[str, int]:
-        info = {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
-        if self.cache_dir:
-            info["disk_bytes"] = self.disk_bytes()
-            info["disk_entries"] = len(self._disk_entries())
-            info["disk_evictions"] = self.disk_evictions
-        return info
-
-    def disk_bytes(self) -> int:
-        """Total size of the on-disk store (0 without a disk tier)."""
-        return sum(size for _, size, _ in self._disk_entries())
+    export_format = EXPORT_FORMAT
+    export_version = EXPORT_VERSION
+    payload_field = "plan"
+    description = "plan cache"
 
     # ------------------------------------------------------------------ get
     def get(self, key: str) -> Optional[PartitionPlan]:
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return plan_from_dict(payload)
-        payload = self._disk_get(key)
-        if payload is not None:
-            self._memory_put(key, payload)
-            self.hits += 1
-            return plan_from_dict(payload)
-        self.misses += 1
-        return None
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return plan_from_dict(payload)
 
     # ------------------------------------------------------------------ put
     def put(self, key: str, plan: PartitionPlan) -> None:
-        payload = plan_to_dict(plan)
-        self._memory_put(key, payload)
-        self._disk_put(key, payload)
-
-    # --------------------------------------------------------- export/import
-    def export_to(self, path: str) -> int:
-        """Bundle every on-disk plan entry into one JSON file at ``path``.
-
-        Content addresses are host-independent (graph × factorisation ×
-        machine × backend config, all canonically encoded), so a bundle
-        exported on one machine imports losslessly on another — the
-        cross-machine cache sharing the planner's content addressing was
-        designed for.  Returns the number of exported entries; requires a
-        disk tier.
-        """
-        if not self.cache_dir:
-            raise ReproError(
-                "plan-cache export needs a disk tier (configure cache_dir)"
-            )
-        entries: Dict[str, Dict] = {}
-        for file_path, _, _ in self._disk_entries():
-            try:
-                with open(file_path, "r", encoding="utf-8") as fh:
-                    entry = json.load(fh)
-                entries[entry["key"]] = entry["plan"]
-            except (OSError, ValueError, KeyError):
-                continue  # unreadable/corrupt entries are skipped, not fatal
-        bundle = {
-            "format": EXPORT_FORMAT,
-            "version": EXPORT_VERSION,
-            "entries": entries,
-        }
-        directory = os.path.dirname(os.path.abspath(path)) or "."
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(bundle, fh)
-        os.replace(tmp, path)
-        return len(entries)
-
-    def import_from(self, path: str, *, replace: bool = False) -> Dict[str, int]:
-        """Merge a bundle written by :meth:`export_to` into the disk store.
-
-        Existing entries are kept unless ``replace=True`` (content addresses
-        make key collisions equal-plan collisions, so keeping is safe).
-        Returns ``{"imported": ..., "skipped": ...}``; requires a disk tier.
-        """
-        if not self.cache_dir:
-            raise ReproError(
-                "plan-cache import needs a disk tier (configure cache_dir)"
-            )
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                bundle = json.load(fh)
-        except (OSError, ValueError) as exc:
-            raise ReproError(
-                f"plan-cache bundle {path!r} is not readable JSON: {exc}"
-            ) from exc
-        if bundle.get("format") != EXPORT_FORMAT:
-            raise ReproError(
-                f"{path!r} is not a {EXPORT_FORMAT} bundle "
-                f"(format={bundle.get('format')!r})"
-            )
-        if bundle.get("version") != EXPORT_VERSION:
-            raise ReproError(
-                f"unsupported plan-cache bundle version "
-                f"{bundle.get('version')!r} (this library reads version "
-                f"{EXPORT_VERSION})"
-            )
-        imported = skipped = 0
-        for key, payload in (bundle.get("entries") or {}).items():
-            if not replace and os.path.exists(self._path(key)):
-                skipped += 1
-                continue
-            self._disk_put(key, payload)
-            imported += 1
-        return {"imported": imported, "skipped": skipped}
-
-    def clear(self) -> None:
-        """Empty both tiers (memory and, when configured, the disk store)."""
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_evictions = 0
-        if self.cache_dir:
-            for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
-
-    # ------------------------------------------------------------- internals
-    def _memory_put(self, key: str, payload: Dict) -> None:
-        if self.capacity <= 0:
-            return
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
-
-    def _path(self, key: str) -> str:
-        return os.path.join(self.cache_dir, f"{key}.json")
-
-    def _disk_get(self, key: str) -> Optional[Dict]:
-        if not self.cache_dir:
-            return None
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-            payload = entry["plan"]
-        except (OSError, ValueError, KeyError):
-            return None
-        try:
-            os.utime(path, None)  # refresh LRU recency on hit
-        except OSError:
-            pass
-        return payload
-
-    def _disk_put(self, key: str, payload: Dict) -> None:
-        if not self.cache_dir:
-            return
-        entry = json.dumps({"key": key, "plan": payload})
-        fd, tmp = tempfile.mkstemp(dir=self.cache_dir, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                fh.write(entry)
-            os.replace(tmp, self._path(key))
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return
-        self._disk_enforce_budget(keep=self._path(key))
-
-    def _disk_entries(self):
-        """``(path, size, mtime)`` of every stored plan file."""
-        if not self.cache_dir:
-            return []
-        entries = []
-        for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
-            try:
-                stat = os.stat(path)
-            except OSError:
-                continue
-            entries.append((path, stat.st_size, stat.st_mtime))
-        return entries
-
-    def _disk_enforce_budget(self, keep: Optional[str] = None) -> None:
-        """Evict least-recently-used files until the store fits ``max_bytes``.
-
-        ``keep`` protects the entry just written: even when one plan alone
-        exceeds the budget the caller's own plan must survive the sweep, so
-        hit-after-put stays guaranteed within a process.
-        """
-        if self.max_bytes is None or not self.cache_dir:
-            return
-        entries = self._disk_entries()
-        total = sum(size for _, size, _ in entries)
-        if total <= self.max_bytes:
-            return
-        entries.sort(key=lambda item: item[2])  # oldest mtime first
-        for path, size, _ in entries:
-            if total <= self.max_bytes:
-                break
-            if keep is not None and os.path.abspath(path) == os.path.abspath(keep):
-                continue
-            try:
-                os.unlink(path)
-            except OSError:
-                continue
-            total -= size
-            self.disk_evictions += 1
+        self.put_payload(key, plan_to_dict(plan))

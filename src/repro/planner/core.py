@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
+from repro import perf
 from repro.graph.graph import Graph
 from repro.partition.plan import PartitionPlan, factorize_workers
 from repro.planner.backends import get_backend
@@ -128,9 +129,12 @@ class Planner:
             else:
                 cached = self.cache.get(key)
                 if cached is not None:
+                    perf.count("plan_cache.hit")
                     return cached
+                perf.count("plan_cache.miss")
 
-        plan = self._search(spec, graph, num_workers, options)
+        with perf.stage(f"planner.search.{spec.name}"):
+            plan = self._search(spec, graph, num_workers, options)
         if key is not None:
             self.cache.put(key, plan)
         return plan

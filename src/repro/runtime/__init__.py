@@ -42,13 +42,22 @@ from repro.runtime.backends import (
     register_execution_backend,
     unregister_execution_backend,
 )
+from repro.runtime.cache import (
+    ProgramCache,
+    default_program_cache,
+    lowered_cache_key,
+)
 from repro.runtime.core import (
     Executor,
     ExecutorConfig,
     SimulationReport,
     default_executor,
 )
-from repro.runtime.program import LoweredProgram
+from repro.runtime.program import (
+    LoweredProgram,
+    program_from_dict,
+    program_to_dict,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -56,11 +65,16 @@ __all__ = [
     "Executor",
     "ExecutorConfig",
     "LoweredProgram",
+    "ProgramCache",
     "SimulationReport",
     "available_execution_backends",
     "default_executor",
+    "default_program_cache",
     "get_execution_backend",
     "load_entry_point_backends",
+    "lowered_cache_key",
+    "program_from_dict",
+    "program_to_dict",
     "register_execution_backend",
     "unregister_execution_backend",
 ]

@@ -577,7 +577,7 @@ def lower_pipeline(
             deps=deps, scale=node_scale, task_name=name,
         )
         if prev_of_stage[stage] is not None:
-            task.after = [prev_of_stage[stage]]
+            task.after = (prev_of_stage[stage],)
         tasks[name] = task
         prev_of_stage[stage] = name
 
@@ -775,8 +775,8 @@ def lower_hybrid(
                 duration=task.duration * scale,
                 comm_bytes=task.comm_bytes * scale,
                 channel=task.channel,
-                deps=[f"{dep}@grp{group}" for dep in task.deps],
-                after=[f"{dep}@grp{group}" for dep in task.after],
+                deps=tuple(f"{dep}@grp{group}" for dep in task.deps),
+                after=tuple(f"{dep}@grp{group}" for dep in task.after),
                 link=link,
                 src_device=src,
                 dst_device=dst,

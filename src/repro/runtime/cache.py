@@ -1,0 +1,126 @@
+"""Content-addressed lowered-program cache.
+
+Lowering is the second hot path after planning: every ``repro.compile`` and
+``Executor.run`` walks the graph through the backend's pass pipeline —
+scheduling, costing, comm emission, memory planning — even when the exact
+same request was lowered moments ago.  The inputs that determine the answer
+are small and hashable: the dataflow graph, the machine model, the backend
+and its options, and the partition plan.  This cache keys lowered programs
+by a SHA-256 digest over a canonical JSON encoding of exactly those inputs,
+so a warm ``compile()`` (plan-cache hit + program-cache hit) skips every
+lowering pass — the ``--profile`` snapshot of a warm compile shows cache-hit
+counters and no ``pass.*``/``lower.*`` stages at all.
+
+The two-tier machinery (in-memory LRU + on-disk JSON store with size
+accounting, LRU eviction under a byte budget, ``export``/``import`` bundles)
+is shared with the plan cache — see :class:`repro.caching.TwoTierCache`;
+this module adds the program payload codec
+(:func:`repro.runtime.program.program_to_dict`) and the program key scheme.
+
+Programs are stored as dictionaries and reconstructed on every hit, so
+callers can freely mutate the returned program — the Table 3 ablation
+scales task durations in place — without corrupting the cache.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.caching import (
+    TwoTierCache,
+    content_key,
+    graph_signature,
+    machine_signature,
+)
+from repro.graph.graph import Graph
+from repro.runtime.program import (
+    LoweredProgram,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.sim.device import Topology
+
+__all__ = [
+    "ProgramCache",
+    "default_program_cache",
+    "lowered_cache_key",
+]
+
+
+def lowered_cache_key(
+    graph: Graph,
+    machine: Optional[Topology],
+    backend: str,
+    backend_options: Mapping[str, object],
+    *,
+    plan: Optional[object] = None,
+) -> str:
+    """The content address of one lowering request.
+
+    The plan is folded in as its full dictionary form — the same graph,
+    machine, backend, and options lower to different programs under
+    different plans, and a plan has no shorter stable signature than its
+    content.
+
+    Raises ``TypeError`` when a backend option is not JSON-serialisable
+    (e.g. a pre-built ``coarse=CoarsenedGraph``).  Such requests have no
+    stable content address, so the executor bypasses the cache for them —
+    mirroring the planner.
+    """
+    from repro.partition.plan import plan_to_dict
+
+    fields = {
+        "graph": graph_signature(graph),
+        "machine": machine_signature(machine),
+        "backend": backend,
+        "options": backend_options,
+    }
+    if plan is not None:
+        fields["plan"] = plan_to_dict(plan)
+    return content_key(fields)
+
+
+EXPORT_FORMAT = "tofu-program-cache"
+EXPORT_VERSION = 1
+
+
+class ProgramCache(TwoTierCache):
+    """In-memory LRU over program dictionaries, with an optional disk tier."""
+
+    export_format = EXPORT_FORMAT
+    export_version = EXPORT_VERSION
+    payload_field = "program"
+    description = "program cache"
+
+    # ------------------------------------------------------------------ get
+    def get(self, key: str) -> Optional[LoweredProgram]:
+        payload = self.get_payload(key)
+        if payload is None:
+            return None
+        return program_from_dict(payload)
+
+    # ------------------------------------------------------------------ put
+    def put(self, key: str, program: LoweredProgram) -> None:
+        self.put_payload(key, program_to_dict(program))
+
+
+#: Lowered programs are a few hundred KB of JSON each; 64 in-memory entries
+#: comfortably cover an `auto` sweep over both reference models.
+DEFAULT_PROGRAM_CACHE_CAPACITY = 64
+
+_DEFAULT_PROGRAM_CACHE: Optional[ProgramCache] = None
+
+
+def default_program_cache() -> ProgramCache:
+    """The process-wide program cache.
+
+    Shared by every :class:`repro.runtime.Executor` that does not configure
+    its own store — ``repro.compile`` builds executors per call, so the
+    warm-compile path depends on them hitting one shared cache.
+    """
+    global _DEFAULT_PROGRAM_CACHE
+    if _DEFAULT_PROGRAM_CACHE is None:
+        _DEFAULT_PROGRAM_CACHE = ProgramCache(
+            capacity=DEFAULT_PROGRAM_CACHE_CAPACITY
+        )
+    return _DEFAULT_PROGRAM_CACHE

@@ -17,8 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional
 
+from repro import perf
 from repro.graph.graph import Graph
 from repro.runtime.backends import get_execution_backend
+from repro.runtime.cache import (
+    ProgramCache,
+    default_program_cache,
+    lowered_cache_key,
+)
 from repro.runtime.program import LoweredProgram
 from repro.sim.device import Topology, k80_8gpu_machine
 from repro.sim.engine import SimResult, TaskGraphSimulator
@@ -36,10 +42,30 @@ class ExecutorConfig:
         backend: Default execution backend (a registry key of
             :mod:`repro.runtime.backends`); overridable per ``run()`` call.
         backend_options: Default keyword options forwarded to the backend.
+        cache_programs: Reuse lowered programs by content address (graph ×
+            machine × backend × options × plan).  On by default; a hit
+            skips every lowering pass and reconstructs a fresh program that
+            simulates bit-identically to a cold lowering.
+        program_cache_dir: Directory of an on-disk program store.  Unset,
+            the executor shares the in-memory process-wide cache
+            (:func:`repro.runtime.cache.default_program_cache`); set, it
+            owns a private two-tier store rooted there.
+        program_cache_capacity: In-memory LRU entries of a private store.
+        program_cache_max_bytes: Byte budget of the private on-disk store
+            (least-recently-used entries are evicted beyond it).
+        profile: Collect a :class:`repro.perf.StageTimer` over every
+            ``lower``/``simulate``/``run`` call on this executor, readable
+            as ``executor.profile_timer`` and surfaced by ``repro.compile``
+            as ``CompiledModel.metadata["profile"]``.
     """
 
     backend: str = "tofu-partitioned"
     backend_options: Mapping[str, object] = field(default_factory=dict)
+    cache_programs: bool = True
+    program_cache_dir: Optional[str] = None
+    program_cache_capacity: Optional[int] = None
+    program_cache_max_bytes: Optional[int] = None
+    profile: bool = False
 
 
 @dataclass
@@ -75,10 +101,20 @@ class SimulationReport:
 
     @property
     def bubble_time(self) -> float:
-        """Summed per-stage idle time of a pipelined iteration (seconds)."""
+        """Summed per-stage idle time of a pipelined iteration (seconds).
+
+        Only the devices the staged program occupies count: the simulator
+        reports idle time for *every* topology device, and a device the
+        pipeline never placed a stage on is spare capacity, not bubble.
+        """
         if self.program is None or self.program.schedule is None:
             return 0.0
-        return sum(self.result.per_device_idle_time.values())
+        stage_devices = set(self.program.per_device_memory)
+        return sum(
+            idle
+            for device, idle in self.result.per_device_idle_time.items()
+            if device in stage_devices
+        )
 
     def bubble_fraction(self) -> float:
         """Fraction of aggregate stage time spent idle (the pipeline bubble)."""
@@ -120,6 +156,26 @@ class Executor:
 
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
+        #: Populated when ``config.profile`` is set; every ``lower``,
+        #: ``simulate``, and ``run`` on this executor accumulates into it.
+        self.profile_timer = perf.StageTimer() if self.config.profile else None
+        if (
+            self.config.program_cache_dir is not None
+            or self.config.program_cache_capacity is not None
+            or self.config.program_cache_max_bytes is not None
+        ):
+            capacity = self.config.program_cache_capacity
+            if capacity is None:
+                from repro.runtime.cache import DEFAULT_PROGRAM_CACHE_CAPACITY
+
+                capacity = DEFAULT_PROGRAM_CACHE_CAPACITY
+            self.program_cache: ProgramCache = ProgramCache(
+                capacity=capacity,
+                cache_dir=self.config.program_cache_dir,
+                max_bytes=self.config.program_cache_max_bytes,
+            )
+        else:
+            self.program_cache = default_program_cache()
 
     def _resolve_machine(
         self, machine: Optional[Topology], plan: Optional["PartitionPlan"]
@@ -140,21 +196,53 @@ class Executor:
         backend: Optional[str] = None,
         backend_options: Optional[Mapping[str, object]] = None,
     ) -> LoweredProgram:
-        """Lower ``graph`` to a device-assigned task program (no simulation)."""
-        spec = get_execution_backend(backend or self.config.backend)
-        options = {**self.config.backend_options, **(backend_options or {})}
-        spec.validate_options(options)
-        if spec.requires_plan and plan is None:
-            from repro.errors import ExecutionError
+        """Lower ``graph`` to a device-assigned task program (no simulation).
 
-            raise ExecutionError(
-                f"execution backend {spec.name!r} requires a partition plan"
-            )
-        machine = self._resolve_machine(machine, plan)
-        program = spec.lower(graph, machine, plan, **options)
-        if program.machine is None:
-            program.machine = machine
-        return program
+        With ``config.cache_programs`` (the default), a content-addressed
+        hit returns a reconstructed program without running any lowering
+        pass; requests whose options have no stable content address (e.g. a
+        pre-built coarsened graph) bypass the cache.
+        """
+        with perf.activation(self.profile_timer):
+            spec = get_execution_backend(backend or self.config.backend)
+            options = {**self.config.backend_options, **(backend_options or {})}
+            spec.validate_options(options)
+            if spec.requires_plan and plan is None:
+                from repro.errors import ExecutionError
+
+                raise ExecutionError(
+                    f"execution backend {spec.name!r} requires a partition plan"
+                )
+            machine = self._resolve_machine(machine, plan)
+
+            key: Optional[str] = None
+            if self.config.cache_programs and self.program_cache.enabled:
+                try:
+                    key = lowered_cache_key(
+                        graph, machine, spec.name, options, plan=plan
+                    )
+                except (TypeError, AttributeError):
+                    key = None
+            if key is not None:
+                cached = self.program_cache.get(key)
+                if cached is not None:
+                    perf.count("program_cache.hit")
+                    return cached
+                perf.count("program_cache.miss")
+
+            with perf.stage(f"lower.{spec.name}"):
+                program = spec.lower(graph, machine, plan, **options)
+            if program.machine is None:
+                program.machine = machine
+            if key is not None:
+                try:
+                    self.program_cache.put(key, program)
+                except (TypeError, ValueError):
+                    # A backend outside this library may attach payloads the
+                    # program codec cannot express; such programs simply are
+                    # not cached.
+                    pass
+            return program
 
     # -------------------------------------------------------------- simulate
     def simulate(
@@ -170,16 +258,17 @@ class Executor:
         kernel durations and the memory report were priced on it, so
         simulating on a different machine is an explicit choice.
         """
-        if machine is None:
-            machine = program.machine
-        machine = self._resolve_machine(machine, program.plan)
-        if check_memory is None:
-            check_memory = program.check_memory
-        return TaskGraphSimulator(machine).run(
-            program.tasks,
-            peak_memory=program.per_device_memory,
-            check_memory=check_memory,
-        )
+        with perf.activation(self.profile_timer):
+            if machine is None:
+                machine = program.machine
+            machine = self._resolve_machine(machine, program.plan)
+            if check_memory is None:
+                check_memory = program.check_memory
+            return TaskGraphSimulator(machine).run(
+                program.tasks,
+                peak_memory=program.per_device_memory,
+                check_memory=check_memory,
+            )
 
     # -------------------------------------------------------------------- run
     def run(
@@ -192,21 +281,22 @@ class Executor:
         backend_options: Optional[Mapping[str, object]] = None,
     ) -> SimulationReport:
         """Lower ``graph`` with the selected backend and simulate it."""
-        machine = self._resolve_machine(machine, plan)
-        program = self.lower(
-            graph,
-            plan=plan,
-            machine=machine,
-            backend=backend,
-            backend_options=backend_options,
-        )
-        result = self.simulate(program, machine)
-        return SimulationReport(
-            plan=program.plan if program.plan is not None else plan,
-            partitioned=program.partitioned,
-            result=result,
-            program=program,
-        )
+        with perf.activation(self.profile_timer):
+            machine = self._resolve_machine(machine, plan)
+            program = self.lower(
+                graph,
+                plan=plan,
+                machine=machine,
+                backend=backend,
+                backend_options=backend_options,
+            )
+            result = self.simulate(program, machine)
+            return SimulationReport(
+                plan=program.plan if program.plan is not None else plan,
+                partitioned=program.partitioned,
+                result=result,
+                program=program,
+            )
 
 
 _DEFAULT_EXECUTOR: Optional[Executor] = None

@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.errors import ExecutionError
 from repro.graph.graph import Graph
 from repro.graph.memory_planner import MemoryPlan, plan_memory
@@ -49,6 +50,7 @@ from repro.sim.device import DeviceSpec, MachineSpec, Topology
 from repro.sim.engine import CHANNELS, Task, validate_channel  # noqa: F401
 
 
+@perf.timed("pass.scheduled_nodes")
 def scheduled_nodes(graph: Graph) -> List[OpNode]:
     """Topo-scheduling pass: the deterministic execution order of ``graph``."""
     return list(graph.topo_order())
@@ -91,7 +93,7 @@ def make_compute_task(
         device=device,
         kind="compute",
         duration=duration,
-        deps=list(deps),
+        deps=tuple(deps),
     )
 
 
@@ -131,7 +133,7 @@ def make_comm_task(
             kind="comm",
             comm_bytes=float(comm_bytes),
             channel=link.kind,
-            deps=list(deps),
+            deps=tuple(deps),
             link=link,
             src_device=src,
             dst_device=dst,
@@ -143,10 +145,11 @@ def make_comm_task(
         kind="comm",
         comm_bytes=float(comm_bytes),
         channel=channel,
-        deps=list(deps),
+        deps=tuple(deps),
     )
 
 
+@perf.timed("pass.device_memory_report")
 def device_memory_report(
     graph: Graph,
     devices: Sequence[int] = (0,),
@@ -163,6 +166,7 @@ def device_memory_report(
     return {device: peak for device in devices}
 
 
+@perf.timed("pass.memory_plan_of")
 def memory_plan_of(graph: Graph, *, allow_reuse: bool = True) -> MemoryPlan:
     """The full memory plan (buffer assignment included) for one device."""
     return plan_memory(graph, allow_reuse=allow_reuse)
@@ -171,6 +175,7 @@ def memory_plan_of(graph: Graph, *, allow_reuse: bool = True) -> MemoryPlan:
 # ---------------------------------------------------------------------------
 # Stage assignment (pipeline-parallel execution)
 # ---------------------------------------------------------------------------
+@perf.timed("pass.full_layer_assignment")
 def full_layer_assignment(graph: Graph) -> Dict[str, int]:
     """Layer index of *every* node, derived from the builders' metadata.
 
@@ -202,6 +207,7 @@ def full_layer_assignment(graph: Graph) -> Dict[str, int]:
     return layer_of
 
 
+@perf.timed("pass.round_robin_layer_placement")
 def round_robin_layer_placement(graph: Graph, num_devices: int) -> Dict[str, int]:
     """Round-robin layers across devices; backward/optimiser nodes follow
     their forward layer (the Operator-Placement policy of Sec 7.1).
@@ -216,6 +222,7 @@ def round_robin_layer_placement(graph: Graph, num_devices: int) -> Dict[str, int
     }
 
 
+@perf.timed("pass.balanced_contiguous_partition")
 def balanced_contiguous_partition(
     costs: Sequence[float], num_groups: int
 ) -> List[Tuple[int, int]]:
@@ -339,6 +346,7 @@ def layer_cut_bytes(
     return cuts
 
 
+@perf.timed("pass.assign_pipeline_stages")
 def assign_pipeline_stages(
     graph: Graph,
     machine: Topology,
@@ -518,6 +526,7 @@ class PipelineSchedule:
         return self.num_microbatches
 
 
+@perf.timed("pass.pipeline_schedule")
 def pipeline_schedule(
     num_stages: int, num_microbatches: int, *, style: str = "1f1b"
 ) -> PipelineSchedule:
@@ -552,6 +561,7 @@ def pipeline_schedule(
     )
 
 
+@perf.timed("pass.stage_memory_report")
 def stage_memory_report(
     graph: Graph,
     stage_of_node: Mapping[str, int],

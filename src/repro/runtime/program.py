@@ -15,13 +15,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
-from repro.sim.device import Topology
+from repro.sim.device import Link, Topology
 from repro.sim.engine import Task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
     from repro.partition.apply import PartitionedGraph
     from repro.partition.plan import PartitionPlan
     from repro.runtime.passes import PipelineSchedule
+
+PROGRAM_PAYLOAD_VERSION = 1
 
 
 @dataclass
@@ -97,3 +99,194 @@ class LoweredProgram:
             f"per-device mem={self.per_device_peak_bytes / gib:.2f} GiB"
             f"{pipeline})"
         )
+
+
+# ---------------------------------------------------------------------------
+# Serialization — what the lowered-program cache stores
+# ---------------------------------------------------------------------------
+def _task_to_dict(task: Task) -> Dict:
+    link = task.link
+    return {
+        "name": task.name,
+        "device": task.device,
+        "kind": task.kind,
+        "duration": task.duration,
+        "comm_bytes": task.comm_bytes,
+        "channel": task.channel,
+        "deps": list(task.deps),
+        "after": list(task.after),
+        "link": None if link is None else {
+            "kind": link.kind,
+            "key": link.key,
+            "bandwidth": link.bandwidth,
+            "latency": link.latency,
+        },
+        "src_device": task.src_device,
+        "dst_device": task.dst_device,
+    }
+
+
+def _task_from_dict(payload: Mapping) -> Task:
+    link = payload.get("link")
+    return Task(
+        name=payload["name"],
+        device=payload["device"],
+        kind=payload["kind"],
+        duration=payload["duration"],
+        comm_bytes=payload["comm_bytes"],
+        channel=payload["channel"],
+        deps=tuple(payload["deps"]),
+        after=tuple(payload["after"]),
+        link=None if link is None else Link(**link),
+        src_device=payload.get("src_device"),
+        dst_device=payload.get("dst_device"),
+    )
+
+
+def program_to_dict(program: LoweredProgram) -> Dict:
+    """JSON-serialisable form of a lowered program; inverse of
+    :func:`program_from_dict`.
+
+    Everything is content, nothing is identity: tasks (with resolved links
+    and both dependency streams, in scheduling order), the memory report,
+    the partition plan, the priced machine model, the pipeline schedule, and
+    the partitioned-graph detail.  JSON round-trips floats exactly
+    (``repr``-based shortest encoding), so a reconstructed program simulates
+    bit-identically to the one that was stored — the property the
+    lowered-program cache's parity suite pins.
+    """
+    from repro.partition.plan import plan_to_dict
+    from repro.sim.device import machine_to_dict
+
+    payload: Dict = {
+        "version": PROGRAM_PAYLOAD_VERSION,
+        "backend": program.backend,
+        "num_devices": program.num_devices,
+        "tasks": [_task_to_dict(task) for task in program.tasks.values()],
+        "per_device_memory": {
+            str(device): int(required)
+            for device, required in program.per_device_memory.items()
+        },
+        "total_comm_bytes": program.total_comm_bytes,
+        "check_memory": program.check_memory,
+        "stats": dict(program.stats),
+        "plan": None if program.plan is None else plan_to_dict(program.plan),
+        "machine": (
+            None if program.machine is None
+            else machine_to_dict(program.machine)
+        ),
+        "num_microbatches": program.num_microbatches,
+        "stage_of_node": (
+            None if program.stage_of_node is None
+            else dict(program.stage_of_node)
+        ),
+        "schedule": None,
+        "strategy": program.strategy,
+        "partitioned": None,
+    }
+    if program.schedule is not None:
+        payload["schedule"] = {
+            "num_stages": program.schedule.num_stages,
+            "num_microbatches": program.schedule.num_microbatches,
+            "style": program.schedule.style,
+            "slots_of_stage": [
+                [[phase, microbatch] for phase, microbatch in slots]
+                for slots in program.schedule.slots_of_stage
+            ],
+        }
+    if program.partitioned is not None:
+        from repro.graph.serialization import graph_to_dict
+
+        detail = program.partitioned
+        payload["partitioned"] = {
+            "num_devices": detail.num_devices,
+            "per_device_memory": {
+                str(device): int(required)
+                for device, required in detail.per_device_memory.items()
+            },
+            "total_comm_bytes": detail.total_comm_bytes,
+            "fetch_bytes_per_node": dict(detail.fetch_bytes_per_node),
+            "reduce_bytes_per_node": dict(detail.reduce_bytes_per_node),
+            "sharded_graph": graph_to_dict(detail.sharded_graph),
+            "plan": plan_to_dict(detail.plan),
+        }
+    return payload
+
+
+def program_from_dict(payload: Mapping) -> LoweredProgram:
+    """Rebuild a :class:`LoweredProgram` from :func:`program_to_dict` output."""
+    from repro.errors import ExecutionError
+
+    version = payload.get("version")
+    if version != PROGRAM_PAYLOAD_VERSION:
+        raise ExecutionError(
+            f"unsupported lowered-program payload version {version!r} "
+            f"(this library reads version {PROGRAM_PAYLOAD_VERSION})"
+        )
+    from repro.partition.plan import plan_from_dict
+    from repro.runtime.passes import PipelineSchedule
+    from repro.sim.device import machine_from_dict
+
+    tasks = {entry["name"]: _task_from_dict(entry) for entry in payload["tasks"]}
+    plan = (
+        None if payload.get("plan") is None
+        else plan_from_dict(payload["plan"])
+    )
+    schedule = None
+    if payload.get("schedule") is not None:
+        entry = payload["schedule"]
+        schedule = PipelineSchedule(
+            num_stages=entry["num_stages"],
+            num_microbatches=entry["num_microbatches"],
+            style=entry["style"],
+            slots_of_stage=[
+                [(phase, microbatch) for phase, microbatch in slots]
+                for slots in entry["slots_of_stage"]
+            ],
+        )
+    partitioned = None
+    if payload.get("partitioned") is not None:
+        from repro.graph.serialization import graph_from_dict
+        from repro.partition.apply import PartitionedGraph
+
+        entry = payload["partitioned"]
+        partitioned = PartitionedGraph(
+            num_devices=entry["num_devices"],
+            # The partitioned detail shares the program's task dict, exactly
+            # as the tofu-partitioned backend builds it.
+            tasks=tasks,
+            per_device_memory={
+                int(device): required
+                for device, required in entry["per_device_memory"].items()
+            },
+            total_comm_bytes=entry["total_comm_bytes"],
+            fetch_bytes_per_node=dict(entry["fetch_bytes_per_node"]),
+            reduce_bytes_per_node=dict(entry["reduce_bytes_per_node"]),
+            sharded_graph=graph_from_dict(entry["sharded_graph"]),
+            plan=plan_from_dict(entry["plan"]),
+        )
+    return LoweredProgram(
+        backend=payload["backend"],
+        num_devices=payload["num_devices"],
+        tasks=tasks,
+        per_device_memory={
+            int(device): required
+            for device, required in payload["per_device_memory"].items()
+        },
+        total_comm_bytes=payload["total_comm_bytes"],
+        check_memory=payload["check_memory"],
+        stats=dict(payload["stats"]),
+        plan=plan,
+        partitioned=partitioned,
+        machine=(
+            None if payload.get("machine") is None
+            else machine_from_dict(payload["machine"])
+        ),
+        num_microbatches=payload["num_microbatches"],
+        stage_of_node=(
+            None if payload.get("stage_of_node") is None
+            else dict(payload["stage_of_node"])
+        ),
+        schedule=schedule,
+        strategy=payload.get("strategy"),
+    )

@@ -48,7 +48,7 @@ class TestCosting:
         assert task.duration == pytest.approx(
             node_kernel_time(graph, node.name, machine.device(0), machine)
         )
-        assert task.deps == ["x"]
+        assert tuple(task.deps) == ("x",)
 
     def test_scale_and_extra_duration(self, mlp_bundle):
         graph = mlp_bundle.graph

@@ -1,0 +1,218 @@
+"""Lowered-program cache: hits are bit-identical to fresh lowering, the
+content address invalidates on every semantic input, and the two-tier store
+accounts for eviction and round-trips export bundles.
+
+The parity half mirrors ``test_cluster_parity``: every registered execution
+backend, on the bare machine and the one-machine cluster, must simulate a
+cache-hit program to *exactly* the result of the freshly lowered one —
+JSON round-trips floats through ``repr`` (shortest-exact), so no tolerance.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.recursive import recursive_partition
+from repro.runtime import (
+    Executor,
+    ExecutorConfig,
+    ProgramCache,
+    available_execution_backends,
+    lowered_cache_key,
+    program_from_dict,
+    program_to_dict,
+)
+from repro.runtime.passes import round_robin_layer_placement
+from repro.sim.device import ClusterSpec, cluster_of, k80_8gpu_machine
+
+MACHINE = k80_8gpu_machine(4)
+CLUSTER = ClusterSpec(machines=[MACHINE])
+
+
+def _backend_setup(name, graph):
+    """(options, plan) each registered backend needs on the 4-GPU fixture."""
+    if name == "placement":
+        return {"device_of_node": round_robin_layer_placement(graph, 4)}, None
+    if name == "tofu-partitioned":
+        return {}, recursive_partition(graph, 4)
+    if name == "hybrid":
+        return {"replica_groups": 2, "inner": "tofu-partitioned"}, (
+            recursive_partition(graph, 2)
+        )
+    if name == "pipeline":
+        return {"num_stages": 2, "num_microbatches": 4}, None
+    return {}, None
+
+
+@pytest.fixture(
+    scope="module", params=["mlp_bundle", "rnn_bundle"], ids=["mlp", "rnn"]
+)
+def bundle(request):
+    return request.getfixturevalue(request.param)
+
+
+# ---------------------------------------------------------------- parity
+
+
+@pytest.mark.parametrize("topology", [MACHINE, CLUSTER], ids=["machine", "cluster"])
+@pytest.mark.parametrize("backend", sorted(available_execution_backends()))
+def test_cache_hit_simulates_bit_identically(bundle, backend, topology):
+    options, plan = _backend_setup(backend, bundle.graph)
+    executor = Executor(ExecutorConfig(program_cache_capacity=8))
+
+    fresh = executor.lower(
+        bundle.graph, plan=plan, machine=topology,
+        backend=backend, backend_options=options,
+    )
+    hit = executor.lower(
+        bundle.graph, plan=plan, machine=topology,
+        backend=backend, backend_options=options,
+    )
+    info = executor.program_cache.info()
+    assert info["hits"] == 1 and info["misses"] == 1
+
+    # A hit reconstructs a *fresh* program (mutation-safe), not an alias...
+    assert hit is not fresh
+    assert set(hit.tasks) == set(fresh.tasks)
+    assert hit.per_device_memory == fresh.per_device_memory
+    assert hit.stats == fresh.stats
+    # ... that simulates to the exact same floats as the fresh lowering.
+    assert (
+        executor.simulate(hit, topology) == executor.simulate(fresh, topology)
+    )
+
+
+def test_codec_round_trip_preserves_program(bundle):
+    options, plan = _backend_setup("tofu-partitioned", bundle.graph)
+    program = Executor(ExecutorConfig(cache_programs=False)).lower(
+        bundle.graph, plan=plan, machine=MACHINE,
+        backend="tofu-partitioned", backend_options=options,
+    )
+    clone = program_from_dict(program_to_dict(program))
+    assert set(clone.tasks) == set(program.tasks)
+    for name, task in program.tasks.items():
+        twin = clone.tasks[name]
+        assert twin.duration == task.duration
+        assert twin.comm_bytes == task.comm_bytes
+        assert tuple(twin.deps) == tuple(task.deps)
+    assert clone.partitioned is not None
+
+
+# ----------------------------------------------------------- invalidation
+
+
+def _key(graph, machine=MACHINE, backend="single-device", options=None, plan=None):
+    return lowered_cache_key(graph, machine, backend, options or {}, plan=plan)
+
+
+def test_key_invalidates_on_graph_edit(mlp_bundle, rnn_bundle):
+    assert _key(mlp_bundle.graph) != _key(rnn_bundle.graph)
+
+
+def test_key_invalidates_on_strategy_change(mlp_bundle):
+    graph = mlp_bundle.graph
+    base = _key(graph, backend="pipeline", options={"num_stages": 2})
+    assert base != _key(graph, backend="single-device")
+    assert base != _key(graph, backend="pipeline", options={"num_stages": 4})
+    plan_2 = recursive_partition(graph, 2)
+    plan_4 = recursive_partition(graph, 4)
+    assert _key(graph, backend="tofu-partitioned", plan=plan_2) != _key(
+        graph, backend="tofu-partitioned", plan=plan_4
+    )
+
+
+def test_key_invalidates_on_cluster_change(mlp_bundle):
+    graph = mlp_bundle.graph
+    assert _key(graph, machine=MACHINE) != _key(
+        graph, machine=cluster_of(k80_8gpu_machine(4), 2)
+    )
+    # ... but the degenerate one-machine cluster shares the bare machine's
+    # programs only if their signatures differ — they do, by design: the
+    # cluster wrapper is part of the lowering contract.
+    assert _key(graph, machine=MACHINE) != _key(graph, machine=CLUSTER)
+
+
+def test_executor_config_options_reach_the_key(mlp_bundle):
+    """Backend options set on the ExecutorConfig (not per call) still
+    invalidate: two executors differing only in config lower distinct
+    cache entries."""
+    cache = ProgramCache(capacity=8)
+    for stages in (2, 4):
+        executor = Executor(
+            ExecutorConfig(
+                backend="pipeline",
+                backend_options={"num_stages": stages, "num_microbatches": 4},
+            )
+        )
+        executor.program_cache = cache
+        executor.lower(mlp_bundle.graph, machine=MACHINE)
+    info = cache.info()
+    assert info["misses"] == 2 and info["hits"] == 0 and info["size"] == 2
+
+
+# ------------------------------------------------- eviction and round trip
+
+
+def test_memory_lru_eviction_accounting(mlp_bundle):
+    cache = ProgramCache(capacity=1)
+    executor = Executor()
+    executor.program_cache = cache
+    for stages in (2, 4):
+        executor.lower(
+            mlp_bundle.graph, machine=MACHINE, backend="pipeline",
+            backend_options={"num_stages": stages, "num_microbatches": 4},
+        )
+    assert len(cache) == 1  # capacity bound holds; oldest entry evicted
+    # The evicted (stages=2) program misses again; the resident one hits.
+    executor.lower(
+        mlp_bundle.graph, machine=MACHINE, backend="pipeline",
+        backend_options={"num_stages": 4, "num_microbatches": 4},
+    )
+    executor.lower(
+        mlp_bundle.graph, machine=MACHINE, backend="pipeline",
+        backend_options={"num_stages": 2, "num_microbatches": 4},
+    )
+    info = cache.info()
+    assert info["hits"] == 1 and info["misses"] == 3
+
+
+def test_disk_eviction_under_byte_budget(tmp_path, mlp_bundle):
+    executor = Executor(
+        ExecutorConfig(
+            program_cache_dir=str(tmp_path / "store"),
+            program_cache_capacity=8,
+            program_cache_max_bytes=1,  # everything but the newest evicts
+        )
+    )
+    for stages in (2, 4):
+        executor.lower(
+            mlp_bundle.graph, machine=MACHINE, backend="pipeline",
+            backend_options={"num_stages": stages, "num_microbatches": 4},
+        )
+    info = executor.program_cache.info()
+    assert info["disk_entries"] == 1
+    assert info["disk_evictions"] >= 1
+
+
+def test_export_import_round_trip(tmp_path, mlp_bundle):
+    source = ProgramCache(cache_dir=str(tmp_path / "src"))
+    executor = Executor()
+    executor.program_cache = source
+    fresh = executor.lower(
+        mlp_bundle.graph, machine=MACHINE, backend="single-device"
+    )
+    bundle_path = str(tmp_path / "bundle.json")
+    assert source.export_to(bundle_path) == 1
+
+    target = ProgramCache(cache_dir=str(tmp_path / "dst"))
+    stats = target.import_from(bundle_path)
+    assert stats["imported"] == 1
+
+    key = lowered_cache_key(mlp_bundle.graph, MACHINE, "single-device", {})
+    restored = target.get(key)
+    assert restored is not None
+    simulator = Executor(ExecutorConfig(cache_programs=False))
+    assert (
+        simulator.simulate(restored, MACHINE)
+        == simulator.simulate(fresh, MACHINE)
+    )

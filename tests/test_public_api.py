@@ -104,11 +104,16 @@ RUNTIME_EXPORTS = [
     "Executor",
     "ExecutorConfig",
     "LoweredProgram",
+    "ProgramCache",
     "SimulationReport",
     "available_execution_backends",
     "default_executor",
+    "default_program_cache",
     "get_execution_backend",
     "load_entry_point_backends",
+    "lowered_cache_key",
+    "program_from_dict",
+    "program_to_dict",
     "register_execution_backend",
     "unregister_execution_backend",
 ]
