@@ -23,6 +23,7 @@ import hashlib
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from typing import Dict, Optional
 
@@ -81,6 +82,12 @@ class TwoTierCache:
     ``plan_to_dict``/``plan_from_dict``) belongs to the subclass, which keeps
     the invariant that every hit reconstructs a fresh object — callers can
     mutate what they get back without corrupting the store.
+
+    The store is thread-safe: one re-entrant lock guards the memory LRU and
+    the disk accounting (eviction counter, budget sweeps), so the compile
+    service's worker threads can share one cache.  Disk entry files were
+    already safe (atomic tempfile + ``os.replace`` writes); the lock makes
+    the bookkeeping around them coherent too.
     """
 
     export_format: str = "tofu-cache"
@@ -99,6 +106,8 @@ class TwoTierCache:
         self.cache_dir = cache_dir
         self.max_bytes = max_bytes
         self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        # Re-entrant: get_payload holds the lock while _memory_put runs.
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.disk_evictions = 0
@@ -116,15 +125,28 @@ class TwoTierCache:
         return self.capacity > 0 or self.cache_dir is not None
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
-    def info(self) -> Dict[str, int]:
-        info = {"hits": self.hits, "misses": self.misses, "size": len(self._memory)}
-        if self.cache_dir:
-            info["disk_bytes"] = self.disk_bytes()
-            info["disk_entries"] = len(self._disk_entries())
-            info["disk_evictions"] = self.disk_evictions
-        return info
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 before any lookup)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
+
+    def info(self) -> Dict[str, object]:
+        with self._lock:
+            info: Dict[str, object] = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hit_rate(),
+                "size": len(self._memory),
+            }
+            if self.cache_dir:
+                info["disk_bytes"] = self.disk_bytes()
+                info["disk_entries"] = len(self._disk_entries())
+                info["disk_evictions"] = self.disk_evictions
+            return info
 
     def disk_bytes(self) -> int:
         """Total size of the on-disk store (0 without a disk tier)."""
@@ -133,23 +155,25 @@ class TwoTierCache:
     # ------------------------------------------------------------- payloads
     def get_payload(self, key: str) -> Optional[Dict]:
         """The stored payload under ``key`` (memory first, then disk)."""
-        payload = self._memory.get(key)
-        if payload is not None:
-            self._memory.move_to_end(key)
-            self.hits += 1
-            return payload
-        payload = self._disk_get(key)
-        if payload is not None:
-            self._memory_put(key, payload)
-            self.hits += 1
-            return payload
-        self.misses += 1
-        return None
+        with self._lock:
+            payload = self._memory.get(key)
+            if payload is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return payload
+            payload = self._disk_get(key)
+            if payload is not None:
+                self._memory_put(key, payload)
+                self.hits += 1
+                return payload
+            self.misses += 1
+            return None
 
     def put_payload(self, key: str, payload: Dict) -> None:
         """Store ``payload`` in both tiers."""
-        self._memory_put(key, payload)
-        self._disk_put(key, payload)
+        with self._lock:
+            self._memory_put(key, payload)
+            self._disk_put(key, payload)
 
     # --------------------------------------------------------- export/import
     def export_to(self, path: str) -> int:
@@ -217,26 +241,28 @@ class TwoTierCache:
                 f"{self.export_version})"
             )
         imported = skipped = 0
-        for key, payload in (bundle.get("entries") or {}).items():
-            if not replace and os.path.exists(self._path(key)):
-                skipped += 1
-                continue
-            self._disk_put(key, payload)
-            imported += 1
+        with self._lock:
+            for key, payload in (bundle.get("entries") or {}).items():
+                if not replace and os.path.exists(self._path(key)):
+                    skipped += 1
+                    continue
+                self._disk_put(key, payload)
+                imported += 1
         return {"imported": imported, "skipped": skipped}
 
     def clear(self) -> None:
         """Empty both tiers (memory and, when configured, the disk store)."""
-        self._memory.clear()
-        self.hits = 0
-        self.misses = 0
-        self.disk_evictions = 0
-        if self.cache_dir:
-            for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
-                try:
-                    os.unlink(path)
-                except OSError:
-                    pass
+        with self._lock:
+            self._memory.clear()
+            self.hits = 0
+            self.misses = 0
+            self.disk_evictions = 0
+            if self.cache_dir:
+                for path in glob.glob(os.path.join(self.cache_dir, "*.json")):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
 
     # ------------------------------------------------------------- internals
     def _memory_put(self, key: str, payload: Dict) -> None:

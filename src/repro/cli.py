@@ -378,7 +378,8 @@ def cmd_cache_stats(args) -> int:
         line = (
             f"{name}: {info['size']} in-memory entr"
             f"{'y' if info['size'] == 1 else 'ies'}, "
-            f"{info['hits']} hit(s), {info['misses']} miss(es)"
+            f"{info['hits']} hit(s), {info['misses']} miss(es), "
+            f"{info['hit_rate']:.1%} hit rate"
         )
         if "disk_entries" in info:
             line += (
@@ -390,6 +391,42 @@ def cmd_cache_stats(args) -> int:
         else:
             line += "; disk: not configured"
         print(line)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import CompileServer, CompileService
+
+    service = CompileService(
+        workers=args.serve_workers,
+        expand_jobs=args.expand_jobs,
+        plan_cache_dir=args.cache_dir,
+        program_cache_dir=args.program_cache_dir,
+    )
+    server = CompileServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        host, port = await server.start()
+        print(
+            f"compile service listening on {host}:{port} "
+            f"({args.serve_workers} worker(s), expand_jobs={args.expand_jobs})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        stats = service.stats()
+        print(
+            f"\nserved {stats['requests']} request(s): "
+            f"{stats['deduped']} deduped, {stats['searches']} search(es), "
+            f"{stats['errors']} error(s)"
+        )
+    finally:
+        service.close()
     return 0
 
 
@@ -558,6 +595,41 @@ def main(argv=None) -> int:
 
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
     p_coverage.set_defaults(func=cmd_coverage)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the compile service (JSON lines over TCP, singleflight dedup)",
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=7718, help="bind port (default 7718; 0 = any)"
+    )
+    p_serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=4,
+        help="compile worker threads (concurrent requests in progress)",
+    )
+    p_serve.add_argument(
+        "--expand-jobs",
+        type=int,
+        default=1,
+        help="threads for frontier-DP state expansion inside each search "
+        "(bit-identical plans; latency knob only)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persistent plan store so a restarted server comes back warm",
+    )
+    p_serve.add_argument(
+        "--program-cache-dir",
+        default=None,
+        help="persistent lowered-program store",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     try:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import itertools
 import time
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import PartitionError
@@ -28,6 +29,10 @@ from repro.partition.cost import CommunicationCostModel
 from repro.partition.plan import PartitionPlan, StepAssignment, factorize_workers
 
 Config = Tuple[int, ...]  # one dimension per step
+
+#: Minimum (states x combos) expansions at one op group before the parallel
+#: path engages; below it the thread handoff costs more than the work.
+PARALLEL_MIN_EXPANSIONS = 64
 
 
 class SearchBudgetExceeded(PartitionError):
@@ -47,6 +52,7 @@ class _FrontierDP:
         parts_per_step: Sequence[int],
         max_states: int = 256,
         time_limit: Optional[float] = None,
+        expand_jobs: int = 1,
     ) -> None:
         self.graph = graph
         self.coarse = coarse
@@ -55,6 +61,7 @@ class _FrontierDP:
         self.num_steps = len(self.parts_per_step)
         self.max_states = max_states
         self.time_limit = time_limit
+        self.expand_jobs = max(1, expand_jobs)
         self._start = time.time()
         self._group_cost_cache: Dict[Tuple, Tuple[float, Dict[str, Config]]] = {}
 
@@ -86,72 +93,86 @@ class _FrontierDP:
 
     # ----------------------------------------------------------------- solve
     def solve(self) -> Tuple[float, Dict[str, Config], Dict[str, str]]:
-        """Run the DP; returns (cost, per-tensor config, per-node strategy)."""
+        """Run the DP; returns (cost, per-tensor config, per-node strategy).
+
+        With ``expand_jobs > 1`` the per-group state expansion fans contiguous
+        chunks of the frontier across a thread pool.  The result is
+        bit-identical to the serial walk: chunks preserve state order, the
+        merge keeps an earlier chunk's entry on cost ties (exactly the serial
+        ``total < best`` rule), and per-pair costs are single additions with
+        no accumulation order to perturb.
+        """
         op_groups = self.coarse.op_groups
         # states: frontier key -> (cost, state index)
         states: Dict[Tuple, float] = {(): 0.0}
         backptr: List[Dict[Tuple, Tuple[Tuple, Dict[int, Config]]]] = []
-
-        for group in op_groups:
-            if self.time_limit is not None and time.time() - self._start > self.time_limit:
-                raise SearchBudgetExceeded(
-                    f"partition search exceeded {self.time_limit:.0f}s budget"
-                )
-            gid = group.gid
-            touched = self.coarse.touched_by[gid]
-            decision_tgs = [
-                tg
-                for tg in touched
-                if self.first_toucher[tg] == gid and self._is_decision_group(tg)
-            ]
-            internal_tgs = [
-                tg
-                for tg in touched
-                if self.first_toucher[tg] == gid and not self._is_decision_group(tg)
-            ]
-            carried_tgs = [tg for tg in touched if self.first_toucher[tg] != gid]
-            dropped = {tg for tg in touched if self.last_toucher[tg] == gid}
-
-            candidates = {tg: self.group_candidates(tg) for tg in decision_tgs}
-            combos = list(itertools.product(*(candidates[tg] for tg in decision_tgs)))
-
-            new_states: Dict[Tuple, float] = {}
-            pointers: Dict[Tuple, Tuple[Tuple, Dict[int, Config]]] = {}
-
-            for state_key, cost_so_far in states.items():
-                frontier = dict(state_key)
-                missing = [tg for tg in carried_tgs if tg not in frontier]
-                if missing:
-                    # A carried tensor group must already be assigned; if not
-                    # (can only happen for exotic graphs) treat it as a
-                    # decision here.
-                    raise PartitionError(
-                        f"tensor groups {missing} reached group {gid} unassigned"
+        pool = (
+            ThreadPoolExecutor(max_workers=self.expand_jobs)
+            if self.expand_jobs > 1
+            else None
+        )
+        try:
+            for group in op_groups:
+                if (
+                    self.time_limit is not None
+                    and time.time() - self._start > self.time_limit
+                ):
+                    raise SearchBudgetExceeded(
+                        f"partition search exceeded {self.time_limit:.0f}s budget"
                     )
-                for combo in combos:
-                    decided = dict(zip(decision_tgs, combo))
-                    local = {**{tg: frontier[tg] for tg in carried_tgs}, **decided}
-                    group_cost, internal_cfg = self._group_cost(gid, local, internal_tgs)
-                    total = cost_so_far + group_cost
-                    next_frontier = {
-                        tg: cfg for tg, cfg in frontier.items() if tg not in dropped
-                    }
-                    for tg, cfg in decided.items():
-                        if tg not in dropped:
-                            next_frontier[tg] = cfg
-                    key = tuple(sorted(next_frontier.items()))
-                    if key not in new_states or total < new_states[key]:
-                        new_states[key] = total
-                        pointers[key] = (state_key, {**decided, **internal_cfg})
+                gid = group.gid
+                touched = self.coarse.touched_by[gid]
+                decision_tgs = [
+                    tg
+                    for tg in touched
+                    if self.first_toucher[tg] == gid and self._is_decision_group(tg)
+                ]
+                internal_tgs = [
+                    tg
+                    for tg in touched
+                    if self.first_toucher[tg] == gid
+                    and not self._is_decision_group(tg)
+                ]
+                carried_tgs = [tg for tg in touched if self.first_toucher[tg] != gid]
+                dropped = {tg for tg in touched if self.last_toucher[tg] == gid}
 
-            if not new_states:
-                raise PartitionError(f"DP produced no states at group {gid}")
-            if len(new_states) > self.max_states:
-                kept = sorted(new_states.items(), key=lambda kv: kv[1])[: self.max_states]
-                new_states = dict(kept)
-                pointers = {k: pointers[k] for k, _ in kept}
-            states = new_states
-            backptr.append(pointers)
+                candidates = {tg: self.group_candidates(tg) for tg in decision_tgs}
+                combos = list(
+                    itertools.product(*(candidates[tg] for tg in decision_tgs))
+                )
+
+                context = (
+                    gid,
+                    combos,
+                    decision_tgs,
+                    carried_tgs,
+                    internal_tgs,
+                    dropped,
+                )
+                if (
+                    pool is not None
+                    and len(states) > 1
+                    and len(states) * max(1, len(combos)) >= PARALLEL_MIN_EXPANSIONS
+                ):
+                    new_states, pointers = self._expand_parallel(pool, states, context)
+                else:
+                    new_states, pointers = self._expand_chunk(
+                        list(states.items()), context
+                    )
+
+                if not new_states:
+                    raise PartitionError(f"DP produced no states at group {gid}")
+                if len(new_states) > self.max_states:
+                    kept = sorted(new_states.items(), key=lambda kv: kv[1])[
+                        : self.max_states
+                    ]
+                    new_states = dict(kept)
+                    pointers = {k: pointers[k] for k, _ in kept}
+                states = new_states
+                backptr.append(pointers)
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
 
         # ------------------------------------------------------------ recover
         best_key = min(states, key=lambda k: states[k])
@@ -175,6 +196,78 @@ class _FrontierDP:
 
         strategies = self._final_strategies(tensor_config)
         return best_cost, tensor_config, strategies
+
+    # ------------------------------------------------------------- expansion
+    def _expand_chunk(
+        self,
+        chunk: Sequence[Tuple[Tuple, float]],
+        context: Tuple,
+    ) -> Tuple[Dict[Tuple, float], Dict[Tuple, Tuple[Tuple, Dict[int, Config]]]]:
+        """Expand one ordered chunk of frontier states through one op group.
+
+        Returns the chunk's best cost per next-frontier key plus the
+        back-pointers, with keys in first-encounter order — the property the
+        parallel merge needs to reproduce the serial walk exactly.
+        """
+        gid, combos, decision_tgs, carried_tgs, internal_tgs, dropped = context
+        new_states: Dict[Tuple, float] = {}
+        pointers: Dict[Tuple, Tuple[Tuple, Dict[int, Config]]] = {}
+        for state_key, cost_so_far in chunk:
+            frontier = dict(state_key)
+            missing = [tg for tg in carried_tgs if tg not in frontier]
+            if missing:
+                # A carried tensor group must already be assigned; if not
+                # (can only happen for exotic graphs) treat it as a
+                # decision here.
+                raise PartitionError(
+                    f"tensor groups {missing} reached group {gid} unassigned"
+                )
+            for combo in combos:
+                decided = dict(zip(decision_tgs, combo))
+                local = {**{tg: frontier[tg] for tg in carried_tgs}, **decided}
+                group_cost, internal_cfg = self._group_cost(gid, local, internal_tgs)
+                total = cost_so_far + group_cost
+                next_frontier = {
+                    tg: cfg for tg, cfg in frontier.items() if tg not in dropped
+                }
+                for tg, cfg in decided.items():
+                    if tg not in dropped:
+                        next_frontier[tg] = cfg
+                key = tuple(sorted(next_frontier.items()))
+                if key not in new_states or total < new_states[key]:
+                    new_states[key] = total
+                    pointers[key] = (state_key, {**decided, **internal_cfg})
+        return new_states, pointers
+
+    def _expand_parallel(
+        self,
+        pool: ThreadPoolExecutor,
+        states: Dict[Tuple, float],
+        context: Tuple,
+    ) -> Tuple[Dict[Tuple, float], Dict[Tuple, Tuple[Tuple, Dict[int, Config]]]]:
+        """Fan contiguous state chunks across the pool and merge in order.
+
+        The merge replaces an entry only on *strictly* lower cost, so on ties
+        the earliest chunk — i.e. the earliest state in serial order — wins,
+        and keys enter the merged dict in global first-encounter order.  Both
+        invariants make the parallel expansion bit-identical to the serial
+        one, including the stable ``max_states`` pruning sort downstream.
+        The group-cost memo is shared across threads; whichever thread fills
+        an entry first, the value is deterministic.
+        """
+        items = list(states.items())
+        jobs = min(self.expand_jobs, len(items))
+        step = (len(items) + jobs - 1) // jobs
+        chunks = [items[i : i + step] for i in range(0, len(items), step)]
+        results = pool.map(lambda chunk: self._expand_chunk(chunk, context), chunks)
+        new_states: Dict[Tuple, float] = {}
+        pointers: Dict[Tuple, Tuple[Tuple, Dict[int, Config]]] = {}
+        for chunk_states, chunk_pointers in results:
+            for key, total in chunk_states.items():
+                if key not in new_states or total < new_states[key]:
+                    new_states[key] = total
+                    pointers[key] = chunk_pointers[key]
+        return new_states, pointers
 
     # ------------------------------------------------------------ group cost
     def _group_cost(
@@ -242,15 +335,21 @@ def dp_partition_step(
     parts: int,
     *,
     max_states: int = 256,
+    expand_jobs: int = 1,
 ) -> StepAssignment:
     """One recursive step: partition every tensor along one dimension across
-    ``parts`` worker groups, minimising communication."""
+    ``parts`` worker groups, minimising communication.
+
+    ``expand_jobs > 1`` parallelises the frontier expansion across threads;
+    the returned assignment is bit-identical to the serial search.
+    """
     dp = _FrontierDP(
         graph,
         coarse,
         cost_model,
         parts_per_step=[parts],
         max_states=max_states,
+        expand_jobs=expand_jobs,
     )
     cost, tensor_config, strategies = dp.solve()
     tensor_dims = {t: cfg[0] for t, cfg in tensor_config.items()}
@@ -272,13 +371,15 @@ def joint_partition(
     allow_reduction: bool = True,
     max_states: int = 256,
     time_limit: Optional[float] = None,
+    expand_jobs: int = 1,
 ) -> PartitionPlan:
     """Non-recursive search: choose all ``m`` partition dimensions per tensor
     jointly (the "DP with coarsening" row of Table 1).
 
     Exponentially slower than the recursive search; ``time_limit`` (seconds)
     raises :class:`SearchBudgetExceeded` when exceeded so benchmarks can report
-    a lower bound instead of hanging.
+    a lower bound instead of hanging.  ``expand_jobs > 1`` parallelises the
+    frontier expansion (bit-identical plans).
     """
     start = time.time()
     factors = factorize_workers(num_workers)
@@ -293,6 +394,7 @@ def joint_partition(
         parts_per_step=factors,
         max_states=max_states,
         time_limit=time_limit,
+        expand_jobs=expand_jobs,
     )
     cost, tensor_config, strategies = dp.solve()
 

@@ -33,6 +33,7 @@ def recursive_partition(
     max_states: int = 256,
     coarsen_options: Optional[dict] = None,
     factors: Optional[Sequence[int]] = None,
+    expand_jobs: int = 1,
 ) -> PartitionPlan:
     """Find a partition plan for ``num_workers`` workers.
 
@@ -49,6 +50,10 @@ def recursive_partition(
         factors: Optional explicit factorisation ``k1, ..., km`` overriding
             the default descending prime factorisation; the planner's
             candidate search uses this to fan out alternative step orders.
+        expand_jobs: Threads for the frontier-DP state expansion *within* one
+            search step (1 = serial).  Parallel expansion returns plans
+            bit-identical to the serial path, so it never changes the answer
+            — only the wall-clock share one large request holds.
     """
     start = time.time()
     if num_workers < 1:
@@ -77,7 +82,8 @@ def recursive_partition(
     for parts in factors:
         cost_model.set_shapes(shapes)
         step = dp_partition_step(
-            graph, coarse, cost_model, parts, max_states=max_states
+            graph, coarse, cost_model, parts,
+            max_states=max_states, expand_jobs=expand_jobs,
         )
         step.group_count = group_count
         step.weighted_bytes = step.comm_bytes * group_count

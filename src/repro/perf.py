@@ -2,8 +2,10 @@
 
 The planner search, every lowering pass, and the simulate loop report into a
 :class:`StageTimer` when one is *active*; when none is, the instrumentation
-collapses to a single module-global load and branch, so the hot paths pay
-nothing in the common case.  Zero dependencies, stdlib only.
+collapses to a single thread-local load and branch, so the hot paths pay
+nothing in the common case.  The active sink is per-thread, which is what
+gives the compile service (:mod:`repro.serve`) isolated per-request stage
+timings under concurrency.  Zero dependencies, stdlib only.
 
 Activation is scoped and re-entrant::
 
@@ -31,6 +33,7 @@ The warm-path acceptance check reads exactly this: a warm
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, Optional
@@ -122,12 +125,17 @@ class StageTimer:
         return "\n".join(lines)
 
 
-_ACTIVE: Optional[StageTimer] = None
+# The active sink is *per thread*: the compile service runs one request per
+# worker thread, each under its own profiling executor, and a module-global
+# sink would interleave their stages.  Thread-locality keeps every request's
+# snapshot self-contained while single-threaded callers see the exact
+# pre-existing behaviour.
+_TLS = threading.local()
 
 
 def active_timer() -> Optional[StageTimer]:
-    """The timer instrumentation currently reports into (``None`` = off)."""
-    return _ACTIVE
+    """The timer this thread's instrumentation reports into (``None`` = off)."""
+    return getattr(_TLS, "timer", None)
 
 
 @contextmanager
@@ -136,22 +144,22 @@ def activation(timer: Optional[StageTimer]) -> Iterator[Optional[StageTimer]]:
 
     ``None`` keeps whatever timer is already active (so a non-profiling
     ``Executor`` nested inside a profiling ``compile`` still reports to the
-    outer timer); on exit the previous sink is restored.
+    outer timer); on exit the previous sink is restored.  Activation is
+    per-thread: concurrent requests profiling in parallel never cross-talk.
     """
-    global _ACTIVE
-    previous = _ACTIVE
+    previous = getattr(_TLS, "timer", None)
     if timer is not None:
-        _ACTIVE = timer
+        _TLS.timer = timer
     try:
-        yield _ACTIVE
+        yield getattr(_TLS, "timer", None)
     finally:
-        _ACTIVE = previous
+        _TLS.timer = previous
 
 
 @contextmanager
 def stage(name: str) -> Iterator[None]:
     """Time a section under ``name`` when a timer is active (no-op otherwise)."""
-    timer = _ACTIVE
+    timer = getattr(_TLS, "timer", None)
     if timer is None:
         yield
         return
@@ -164,7 +172,7 @@ def stage(name: str) -> Iterator[None]:
 
 def count(name: str, value: float = 1.0) -> None:
     """Bump counter ``name`` on the active timer (no-op when none is)."""
-    timer = _ACTIVE
+    timer = getattr(_TLS, "timer", None)
     if timer is not None:
         timer.count(name, value)
 
@@ -175,7 +183,7 @@ def timed(name: str) -> Callable:
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            timer = _ACTIVE
+            timer = getattr(_TLS, "timer", None)
             if timer is None:
                 return fn(*args, **kwargs)
             start = time.perf_counter()

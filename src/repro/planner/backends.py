@@ -169,7 +169,9 @@ def _icml18_factors(graph, num_workers, factors, **options):
     return _icml18(graph, num_workers, factors=factors, **options)
 
 
-_RECURSIVE_OPTIONS = ("coarse", "cost_model", "max_states", "coarsen_options")
+_RECURSIVE_OPTIONS = (
+    "coarse", "cost_model", "max_states", "coarsen_options", "expand_jobs",
+)
 
 register_backend(
     BackendSpec(
@@ -187,7 +189,7 @@ register_backend(
         fn=joint_partition,
         description="non-recursive joint DP over all steps (Table 1 comparison)",
         option_names=("coarse", "cost_model", "max_states", "allow_reduction",
-                      "time_limit"),
+                      "time_limit", "expand_jobs"),
     )
 )
 register_backend(

@@ -34,11 +34,19 @@ from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
 from repro.sim.device import Topology
 
 __all__ = [
+    "NON_SEMANTIC_OPTIONS",
     "PlanCache",
     "graph_signature",
     "machine_signature",
     "plan_cache_key",
 ]
+
+#: Backend options that change only how fast a search runs, never which plan
+#: it returns (parallel expansion is pinned bit-identical to serial).  They
+#: are excluded from the content address so a plan searched with
+#: ``expand_jobs=4`` is a cache hit for a serial request and vice versa —
+#: mirroring how ``PlannerConfig.jobs`` never enters the key.
+NON_SEMANTIC_OPTIONS = ("expand_jobs",)
 
 
 def plan_cache_key(
@@ -70,7 +78,11 @@ def plan_cache_key(
         "factors": list(factors),
         "machine": machine_signature(machine),
         "backend": backend,
-        "options": backend_options,
+        "options": {
+            name: value
+            for name, value in backend_options.items()
+            if name not in NON_SEMANTIC_OPTIONS
+        },
         "explore_factor_orders": bool(explore_factor_orders),
     }
     if strategy is not None:

@@ -256,7 +256,9 @@ class Executor:
 
         ``machine`` defaults to the machine the program was lowered for —
         kernel durations and the memory report were priced on it, so
-        simulating on a different machine is an explicit choice.
+        simulating on a different machine is an explicit choice.  A program
+        frozen with :meth:`LoweredProgram.freeze` simulates through its
+        trusted-immutable handle, skipping the per-call content fingerprint.
         """
         with perf.activation(self.profile_timer):
             if machine is None:
@@ -265,7 +267,7 @@ class Executor:
             if check_memory is None:
                 check_memory = program.check_memory
             return TaskGraphSimulator(machine).run(
-                program.tasks,
+                program.simulation_tasks,
                 peak_memory=program.per_device_memory,
                 check_memory=check_memory,
             )

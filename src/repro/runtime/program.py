@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Mapping, Optional
 
 from repro.sim.device import Link, Topology
-from repro.sim.engine import Task
+from repro.sim.engine import FrozenTaskGraph, Task
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (apply uses passes)
     from repro.partition.apply import PartitionedGraph
@@ -72,6 +72,43 @@ class LoweredProgram:
     stage_of_node: Optional[Mapping[str, int]] = None
     schedule: Optional["PipelineSchedule"] = None
     strategy: Optional[str] = None
+    #: Set by :meth:`freeze`; never serialised (a reloaded program starts
+    #: unfrozen — whoever reconstructs it must opt in again).
+    _frozen: Optional[FrozenTaskGraph] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------- freezing
+    @property
+    def frozen(self) -> bool:
+        """Whether the program carries a trusted-immutable task handle."""
+        return self._frozen is not None
+
+    def freeze(self) -> "LoweredProgram":
+        """Mark the task graph trusted-immutable and return ``self``.
+
+        Repeat simulations then skip the per-call content fingerprint
+        (~11 ms at 20k tasks) — the warm-path headroom the profiling work
+        identified.  The caller promises not to mutate ``tasks`` while the
+        program stays frozen; a mutation behind a frozen handle silently
+        replays stale results.  Workflows that *do* mutate tasks (the
+        framework-overhead ablation scales durations in place) must
+        :meth:`thaw` first — or simply never freeze.
+        """
+        if self._frozen is None or self._frozen.tasks is not self.tasks:
+            self._frozen = FrozenTaskGraph(self.tasks)
+        return self
+
+    def thaw(self) -> "LoweredProgram":
+        """Drop the frozen handle; simulations fingerprint per call again."""
+        self._frozen = None
+        return self
+
+    @property
+    def simulation_tasks(self):
+        """What the simulator should run: the frozen handle when one is set
+        (fingerprint reused), the raw task dict otherwise."""
+        return self._frozen if self._frozen is not None else self.tasks
 
     @property
     def per_device_peak_bytes(self) -> int:

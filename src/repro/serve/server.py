@@ -1,0 +1,213 @@
+"""Network front end of the compile service: JSON lines over TCP.
+
+:class:`CompileServer` is a thin asyncio shell over an in-process
+:class:`CompileService` — the event loop only parses lines and shuttles
+futures, while every compile runs on the service's worker threads.  The
+protocol is deliberately primitive (one JSON object per ``\\n``-terminated
+line, requests in, responses out) so any language with sockets and JSON
+can speak it.
+
+Responses are written in **completion order**, not request order: a client
+that pipelines several requests on one connection must match them by the
+echoed ``id`` field.  :class:`CompileClient`, the bundled blocking client,
+keeps one request outstanding per call (send, then read), so it never needs
+to; it exists for tests, benchmarks, and shell one-liners.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.serve.protocol import (
+    CompileRequest,
+    CompileResponse,
+    request_to_wire,
+    request_from_wire,
+    response_from_wire,
+    response_to_wire,
+)
+from repro.serve.service import CompileService
+
+__all__ = ["CompileClient", "CompileServer", "MAX_LINE_BYTES"]
+
+#: Per-line read budget — large graphs serialise to megabytes of JSON.
+MAX_LINE_BYTES = 256 * 1024 * 1024
+
+
+class CompileServer:
+    """Serve a :class:`CompileService` over a TCP JSON-lines socket."""
+
+    def __init__(
+        self,
+        service: CompileService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------- lifecycle
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``
+        (useful with ``port=0``)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=MAX_LINE_BYTES,
+        )
+        bound = self._server.sockets[0].getsockname()
+        self.host, self.port = bound[0], bound[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------ connection
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        # One write lock per connection: responses complete concurrently but
+        # each JSON line must hit the socket unsplit.
+        write_lock = asyncio.Lock()
+        pending: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except asyncio.CancelledError:
+                    # Loop teardown (server.stop / Ctrl-C) cancels handlers
+                    # blocked on an idle connection; exit quietly instead of
+                    # letting asyncio log the cancellation as an error.
+                    break
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._write(
+                        writer,
+                        write_lock,
+                        CompileResponse(
+                            status="error",
+                            error=f"request line exceeds {MAX_LINE_BYTES} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_line(line, writer, write_lock)
+                )
+                pending.add(task)
+                task.add_done_callback(pending.discard)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionError,
+                OSError,
+                asyncio.CancelledError,
+            ):  # pragma: no cover - teardown race
+                # Swallowing CancelledError is safe here: the handler is in
+                # its last statement, and server.stop() cancelling a
+                # connection mid-close must not log a spurious traceback.
+                pass
+
+    async def _serve_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        request_id = None
+        try:
+            payload = json.loads(line)
+            if isinstance(payload, dict):
+                request_id = payload.get("id")
+            request = request_from_wire(payload)
+        except (ReproError, ValueError, KeyError, TypeError) as exc:
+            response = CompileResponse(
+                status="error",
+                error=f"bad request: {exc}",
+                request_id=request_id,
+            )
+        else:
+            pending = self.service.submit(request)
+            # The compile runs on a service worker thread; the loop just
+            # awaits its future without blocking other connections.
+            response = await self._await_pending(pending)
+        await self._write(writer, write_lock, response)
+
+    @staticmethod
+    async def _await_pending(pending) -> CompileResponse:
+        response = await asyncio.wrap_future(pending.future)
+        if not pending.leader:
+            response = response.as_dedup_follower(pending.request_id)
+        return response
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: CompileResponse,
+    ) -> None:
+        data = json.dumps(response_to_wire(response)).encode("utf-8") + b"\n"
+        async with write_lock:
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+
+class CompileClient:
+    """Blocking JSON-lines client for a :class:`CompileServer`.
+
+    One outstanding request per call, so responses always pair with the
+    request just sent; use one client per thread for concurrency (the
+    benchmark and dedup tests do exactly that).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def compile(self, request: CompileRequest) -> CompileResponse:
+        """Send one request and block for its response."""
+        wire = json.dumps(request_to_wire(request)).encode("utf-8") + b"\n"
+        self._file.write(wire)
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("compile server closed the connection")
+        return response_from_wire(json.loads(line))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "CompileClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

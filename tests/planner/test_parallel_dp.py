@@ -1,0 +1,93 @@
+"""Parallel frontier-DP expansion must be bit-identical to serial.
+
+``expand_jobs`` is a pure latency knob: the chunked thread-pool expansion
+merges in chunk order with strict-less replacement, reproducing the serial
+first-encounter tie-break exactly.  These tests pin that contract at every
+level — the DP step, both search algorithms, and the Planner facade (where
+``expand_jobs`` is also excluded from the plan-cache key).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.coarsen import coarsen
+from repro.partition.cost import CommunicationCostModel
+from repro.partition.dp import dp_partition_step, joint_partition
+from repro.partition.plan import plan_to_dict
+from repro.partition.recursive import recursive_partition
+from repro.planner.cache import NON_SEMANTIC_OPTIONS, plan_cache_key
+from repro.planner.core import Planner, PlannerConfig
+
+
+def canonical(plan) -> dict:
+    payload = plan_to_dict(plan)
+    # Wall-clock provenance legitimately differs between runs.
+    payload.pop("search_time_seconds", None)
+    return payload
+
+
+class TestStepParity:
+    @pytest.mark.parametrize("jobs", [2, 4, 8])
+    def test_dp_step_is_bit_identical(self, mlp_bundle, jobs):
+        graph = mlp_bundle.graph
+        coarse = coarsen(graph)
+        cm = CommunicationCostModel(graph)
+        serial = dp_partition_step(graph, coarse, cm, 2)
+        parallel = dp_partition_step(graph, coarse, cm, 2, expand_jobs=jobs)
+        assert parallel.tensor_dims == serial.tensor_dims
+        assert parallel.op_strategies == serial.op_strategies
+        assert parallel.comm_bytes == serial.comm_bytes
+
+
+class TestSearchParity:
+    @pytest.mark.parametrize("workers", [2, 4, 8])
+    def test_recursive_plans_are_bit_identical(self, mlp_bundle, workers):
+        serial = recursive_partition(mlp_bundle.graph, workers)
+        parallel = recursive_partition(
+            mlp_bundle.graph, workers, expand_jobs=4
+        )
+        assert canonical(parallel) == canonical(serial)
+
+    def test_joint_plans_are_bit_identical(self, mlp_bundle):
+        serial = joint_partition(mlp_bundle.graph, 4)
+        parallel = joint_partition(mlp_bundle.graph, 4, expand_jobs=4)
+        assert canonical(parallel) == canonical(serial)
+
+    def test_rnn_recursive_parity(self, rnn_bundle):
+        serial = recursive_partition(rnn_bundle.graph, 4)
+        parallel = recursive_partition(rnn_bundle.graph, 4, expand_jobs=8)
+        assert canonical(parallel) == canonical(serial)
+
+
+class TestPlannerIntegration:
+    def test_planner_config_threads_expand_jobs(self, mlp_bundle):
+        serial = Planner(PlannerConfig()).plan(mlp_bundle.graph, 4)
+        parallel = Planner(PlannerConfig(expand_jobs=4)).plan(
+            mlp_bundle.graph, 4
+        )
+        assert canonical(parallel) == canonical(serial)
+
+    def test_expand_jobs_is_not_part_of_the_cache_key(self, mlp_bundle):
+        graph = mlp_bundle.graph
+        assert "expand_jobs" in NON_SEMANTIC_OPTIONS
+        base = plan_cache_key(graph, [2, 2], None, "tofu", {})
+        spelled = plan_cache_key(
+            graph, [2, 2], None, "tofu", {"expand_jobs": 8}
+        )
+        assert spelled == base
+        # Semantic options still change the key.
+        assert (
+            plan_cache_key(graph, [2, 2], None, "tofu", {"max_states": 7})
+            != base
+        )
+
+    def test_parallel_search_hits_the_serial_entry(self, mlp_bundle):
+        """A plan searched serially is served from cache to a parallel
+        planner sharing the same store — expand_jobs never fragments it."""
+        planner = Planner(PlannerConfig())
+        planner.plan(mlp_bundle.graph, 4)
+        hits_before = planner.cache.hits
+        parallel = Planner(PlannerConfig(expand_jobs=4), cache=planner.cache)
+        parallel.plan(mlp_bundle.graph, 4)
+        assert planner.cache.hits == hits_before + 1

@@ -1,0 +1,206 @@
+"""CompileService: round trips, warm tiers, and singleflight dedup."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.compiler import CompiledModel
+from repro.models.mlp import build_mlp
+from repro.serve import CompileRequest, CompileService
+from repro.serve.protocol import request_from_wire, request_to_wire
+
+
+def small_graph(hidden_dim=64):
+    return build_mlp(
+        batch_size=8, input_dim=32, hidden_dim=hidden_dim, num_layers=2,
+        num_classes=16,
+    ).graph
+
+
+@pytest.fixture()
+def service():
+    with CompileService(workers=4) as svc:
+        yield svc
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+class TestRequestKey:
+    def test_canonical_strategy_spellings_share_a_key(self):
+        graph = small_graph()
+        tree = CompileRequest(graph=graph, strategy="dp:2/tofu", num_workers=4)
+        spaced = CompileRequest(graph=graph, strategy=" dp:2/tofu ", num_workers=4)
+        assert tree.key() == spaced.key()
+
+    def test_key_covers_compile_relevant_inputs(self):
+        graph = small_graph()
+        base = CompileRequest(graph=graph, strategy="tofu", num_workers=4)
+        assert base.key() != CompileRequest(
+            graph=graph, strategy="tofu", num_workers=2
+        ).key()
+        assert base.key() != CompileRequest(
+            graph=graph, strategy="dp:2/tofu", num_workers=4
+        ).key()
+        assert base.key() != CompileRequest(
+            graph=small_graph(hidden_dim=128), strategy="tofu", num_workers=4
+        ).key()
+        assert base.key() != CompileRequest(
+            graph=graph, strategy="tofu", num_workers=4, simulate=False
+        ).key()
+
+    def test_wire_round_trip_preserves_the_key(self):
+        request = CompileRequest(
+            graph=small_graph(), strategy="tofu", num_workers=4,
+            request_id="r-1",
+        )
+        rebuilt = request_from_wire(request_to_wire(request))
+        assert rebuilt.key() == request.key()
+        assert rebuilt.request_id == "r-1"
+
+
+# ---------------------------------------------------------------------------
+# Service
+# ---------------------------------------------------------------------------
+class TestCompileService:
+    def test_round_trip_reconstructs_a_compiled_model(self, service):
+        response = service.compile(
+            CompileRequest(graph=small_graph(), strategy="tofu", num_workers=4)
+        )
+        assert response.ok
+        assert not response.deduped
+        assert response.stats["searches"] == 1
+        model = CompiledModel.from_dict(response.model)
+        assert model.strategy_text == "tofu"
+        assert model.iteration_time > 0
+
+    def test_repeat_request_is_served_from_the_caches(self, service):
+        request = CompileRequest(
+            graph=small_graph(), strategy="tofu", num_workers=4
+        )
+        cold = service.compile(request)
+        warm = service.compile(request)
+        assert cold.stats["searches"] == 1
+        assert warm.stats["searches"] == 0
+        assert warm.stats["plan_cache_hits"] == 1
+        assert warm.stats["program_cache_hits"] == 1
+        # Warm responses still carry the full model payload.
+        assert warm.model == cold.model
+
+    def test_singleflight_collapses_identical_concurrent_requests(self):
+        n = 8
+        request = CompileRequest(
+            graph=small_graph(), strategy="tofu", num_workers=4
+        )
+        # One worker, blocked behind a gate: the leader cannot even start
+        # until every follower has been submitted, so the dedup window is
+        # deterministic rather than a race against a fast compile.
+        with CompileService(workers=1) as svc:
+            gate = threading.Event()
+            svc._pool.submit(gate.wait)
+            pendings = [svc.submit(request) for _ in range(n)]
+            gate.set()
+            responses = [p.result() for p in pendings]
+            stats = svc.stats()
+        assert all(r.ok for r in responses)
+        assert sum(p.leader for p in pendings) == 1
+        assert sum(r.deduped for r in responses) == n - 1
+        # The acceptance criterion: N identical concurrent requests cost
+        # exactly one search.
+        assert stats["searches"] == 1
+        assert stats["deduped"] == n - 1
+        assert stats["requests"] == n
+
+    def test_distinct_requests_are_not_deduped(self, service):
+        a = service.submit(
+            CompileRequest(graph=small_graph(), strategy="tofu", num_workers=4)
+        )
+        b = service.submit(
+            CompileRequest(graph=small_graph(), strategy="tofu", num_workers=2)
+        )
+        assert a.leader and b.leader
+        assert a.key != b.key
+        assert not a.result().deduped
+        assert not b.result().deduped
+        assert service.stats()["searches"] == 2
+
+    def test_in_flight_entries_retire_after_completion(self, service):
+        request = CompileRequest(
+            graph=small_graph(), strategy="tofu", num_workers=4
+        )
+        service.compile(request)
+        assert service.stats()["in_flight"] == 0
+        # A later identical request leads again (and hits the caches).
+        again = service.submit(request)
+        assert again.leader
+        assert not again.result().deduped
+
+    def test_compile_errors_become_error_responses(self, service):
+        response = service.compile(
+            CompileRequest(
+                graph=small_graph(), strategy="definitely-not-a-strategy",
+                num_workers=4,
+            )
+        )
+        assert not response.ok
+        assert response.error and "StrategyError" in response.error
+        assert service.stats()["errors"] == 1
+
+    def test_submit_after_close_is_rejected(self):
+        svc = CompileService(workers=1)
+        svc.close()
+        with pytest.raises(RuntimeError):
+            svc.submit(
+                CompileRequest(graph=small_graph(), strategy="tofu",
+                               num_workers=2)
+            )
+
+    def test_concurrent_distinct_requests_profile_independently(self, service):
+        """Thread-local perf sinks keep per-request timings isolated."""
+        graphs = [small_graph(hidden_dim=32 * (i + 1)) for i in range(4)]
+        pendings = [
+            service.submit(
+                CompileRequest(graph=graph, strategy="tofu", num_workers=4)
+            )
+            for graph in graphs
+        ]
+        responses = [p.result() for p in pendings]
+        for response in responses:
+            assert response.ok
+            # Each cold request observed exactly its own search, not a
+            # neighbour's stages bleeding into a shared sink.
+            assert response.stats["searches"] == 1
+
+
+class TestServiceThreaded:
+    def test_hammering_one_request_from_many_threads_costs_one_search(self):
+        request = CompileRequest(
+            graph=small_graph(), strategy="tofu", num_workers=4
+        )
+        with CompileService(workers=2) as svc:
+            barrier = threading.Barrier(8)
+            results = []
+            lock = threading.Lock()
+
+            def worker():
+                barrier.wait()
+                response = svc.compile(request)
+                with lock:
+                    results.append(response)
+
+            threads = [threading.Thread(target=worker) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            stats = svc.stats()
+        assert len(results) == 8
+        assert all(r.ok for r in results)
+        # Dedup + caches together: strictly fewer searches than requests,
+        # and every response carries the same model payload.
+        assert stats["searches"] < 8
+        payloads = {json.dumps(r.model, sort_keys=True) for r in results}
+        assert len(payloads) == 1
