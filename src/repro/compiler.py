@@ -105,6 +105,7 @@ class CompiledModel:
 
     @property
     def oom(self) -> bool:
+        """Whether the simulated execution exceeded any device's memory."""
         if self.report is not None:
             return self.report.result.oom
         return bool(self.metadata.get("oom", False))
@@ -154,6 +155,7 @@ class CompiledModel:
         return self
 
     def summary(self) -> str:
+        """One human-readable block: strategy, devices, timing, memory."""
         if self.report is not None:
             text = self.report.summary()
             if not text.startswith("strategy:"):
@@ -302,6 +304,7 @@ def compile(
     simulate: bool = True,
     lower_only: bool = False,
     candidates: Optional[Sequence[Union[Strategy, str]]] = None,
+    cost_model: Optional[object] = None,
 ) -> CompiledModel:
     """Compile ``graph`` for ``machine`` under ``strategy``.
 
@@ -337,12 +340,51 @@ def compile(
             fit device memory.
         candidates: Overrides the ``"auto"`` candidate set (strategy trees
             or strings); ignored for explicit strategies.
+        cost_model: Pricing model for planning, lowering, and simulation —
+            a registry name (``"roofline"``, ``"table:trace=/path.json"``),
+            a path to a saved model, or a
+            :class:`repro.costmodel.CostModel` instance.  ``None`` (the
+            default) keeps the built-in roofline pricing; a non-default
+            model folds its signature into the plan- and program-cache
+            keys, so calibrated and default compiles never share entries.
 
     Returns:
         A :class:`CompiledModel`; its ``report`` carries the simulated
         iteration verdict unless ``simulate=False``.
+
+    Raises:
+        StrategyError: For malformed strategies or contradictory arguments.
+        CostModelError: When ``cost_model`` cannot be resolved.
     """
     from repro.planner.core import default_planner
+
+    if cost_model is not None:
+        from repro.costmodel import (
+            configured_cost_model,
+            cost_model_cache_token,
+            use_cost_model,
+        )
+
+        model_override = configured_cost_model(cost_model)
+        with use_cost_model(model_override):
+            compiled = compile(
+                graph,
+                strategy,
+                machine,
+                num_workers=num_workers,
+                plan=plan,
+                planner=planner,
+                executor=executor,
+                plan_options=plan_options,
+                backend_options=backend_options,
+                simulate=simulate,
+                lower_only=lower_only,
+                candidates=candidates,
+            )
+        token = cost_model_cache_token(model_override)
+        if token is not None:
+            compiled.metadata["cost_model"] = token
+        return compiled
 
     if isinstance(strategy, str) and strategy.strip().lower() == "auto":
         machine = _resolve_machine(machine, num_workers)

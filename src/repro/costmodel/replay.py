@@ -1,0 +1,282 @@
+"""Trace replay: score cost models against a measured DAG.
+
+:func:`replay_trace` takes a validated :class:`~repro.costmodel.trace.Trace`
+and a set of cost models, re-prices every record through each model, and
+reports prediction error per op class — MAPE, median and p95 absolute
+percentage error — plus an end-to-end makespan comparison obtained by
+running the trace's DAG through :class:`repro.sim.engine.TaskGraphSimulator`
+twice (measured durations vs predicted durations).
+
+The report is a versioned JSON payload (``"format": "tofu-replay-report"``)
+written deterministically (:func:`write_report` sorts keys and rounds
+floats), so a checked-in golden report is byte-stable across runs — the CI
+docs-gate relies on that.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.costmodel.base import CostModel, OpSample
+from repro.costmodel.trace import Trace, TraceRecord
+from repro.errors import CostModelError
+from repro.sim.device import Link, MachineSpec, k80_8gpu_machine
+from repro.sim.engine import Task, TaskGraphSimulator
+
+__all__ = [
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "render_report",
+    "replay_trace",
+    "write_report",
+]
+
+#: Value of the ``"format"`` tag every replay report carries.
+REPORT_FORMAT = "tofu-replay-report"
+
+#: Current replay-report schema version.
+REPORT_VERSION = 1
+
+#: Decimal places kept in the report (byte-stability without float noise).
+_ROUND = 6
+
+
+def _device_index(label: str, mapping: Dict[str, int]) -> int:
+    if label not in mapping:
+        mapping[label] = len(mapping)
+    return mapping[label]
+
+
+def _record_sample(record: TraceRecord) -> OpSample:
+    return OpSample(
+        op=record.op,
+        category=record.category,
+        flops=record.flops,
+        mem_bytes=record.mem_bytes,
+        out_elements=record.out_elements,
+    )
+
+
+def _comm_link(machine: MachineSpec, record: TraceRecord, device: int) -> Link:
+    if record.channel == "cpu":
+        return machine.host_link(device)
+    if record.channel == "p2p":
+        return machine.p2p_link(device)
+    # "net" (or any custom channel) has no physical edge on a single-machine
+    # replay topology; give each such channel its own synthetic contention
+    # queue so its transfers serialise but never collide with real links.
+    return Link(kind="net", key=f"net:{record.channel}", bandwidth=1.0)
+
+
+def _predict_record(
+    model: CostModel, record: TraceRecord, machine: MachineSpec, device: int
+) -> float:
+    if record.kind == "compute":
+        return model.op_time(_record_sample(record), machine.device(device), machine)
+    predicted = model.comm_time(record.comm_bytes, channel=record.channel)
+    if predicted is None:
+        predicted = _comm_link(machine, record, device).transfer_time(
+            record.comm_bytes
+        )
+    return predicted
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    n = len(sorted_values)
+    index = min(n - 1, max(0, math.ceil(q * n) - 1))
+    return sorted_values[index]
+
+
+def _error_stats(errors: Sequence[float]) -> Dict[str, object]:
+    ordered = sorted(errors)
+    return {
+        "count": len(ordered),
+        "mape": round(100.0 * sum(ordered) / len(ordered), _ROUND),
+        "p50": round(100.0 * _percentile(ordered, 0.50), _ROUND),
+        "p95": round(100.0 * _percentile(ordered, 0.95), _ROUND),
+    }
+
+
+def _trace_tasks(
+    trace: Trace,
+    machine: MachineSpec,
+    device_map: Dict[str, int],
+    durations: Mapping[str, float],
+) -> Dict[str, Task]:
+    tasks: Dict[str, Task] = {}
+    for record in trace.records:
+        device = _device_index(record.device, device_map)
+        if record.kind == "compute":
+            tasks[record.name] = Task(
+                name=record.name,
+                device=device,
+                kind="compute",
+                duration=durations[record.name],
+                deps=tuple(record.deps),
+            )
+        else:
+            link = _comm_link(machine, record, device)
+            tasks[record.name] = Task(
+                name=record.name,
+                device=device,
+                kind="comm",
+                comm_bytes=record.comm_bytes,
+                channel=link.kind,
+                link=link,
+                deps=tuple(record.deps),
+                comm_time=durations[record.name],
+            )
+    return tasks
+
+
+def replay_trace(
+    trace: Trace,
+    models: Mapping[str, CostModel],
+    *,
+    machine: Optional[MachineSpec] = None,
+) -> Dict[str, object]:
+    """Replay a measured trace under each model and report prediction error.
+
+    Every record is re-priced by every model (compute records through
+    ``op_time`` on the record's features, comm records through ``comm_time``
+    with link-bandwidth fallback) and compared against the measured
+    duration.  Records measured at exactly zero seconds are excluded from
+    the percentage-error statistics (their APE is undefined) but still
+    counted in the trace summary.  The whole DAG is then simulated twice —
+    measured vs predicted durations — for a makespan-level error.
+
+    Args:
+        trace: The validated measured trace.
+        models: Models to score, keyed by the label to report them under.
+        machine: Replay topology; defaults to the paper's 8-GPU K80 machine
+            (grown to fit if the trace names more devices).
+
+    Returns:
+        The report payload (see ``docs/trace-schema.md`` for the schema):
+        ``{"format": "tofu-replay-report", "version": 1, "trace": {...},
+        "models": {label: {"signature", "per_class", "overall",
+        "makespan"}}}``.
+
+    Raises:
+        CostModelError: When ``models`` is empty or the trace has no
+            records to score.
+    """
+    if not models:
+        raise CostModelError("replay needs at least one cost model to score")
+    if not trace.records:
+        raise CostModelError("cannot replay an empty trace")
+
+    device_map: Dict[str, int] = {}
+    for record in trace.records:
+        _device_index(record.device, device_map)
+    base = machine if machine is not None else k80_8gpu_machine()
+    if len(device_map) > base.num_devices:
+        base = k80_8gpu_machine(len(device_map))
+
+    measured = {record.name: record.duration for record in trace.records}
+    simulator = TaskGraphSimulator(base)
+    measured_makespan = simulator.run(
+        _trace_tasks(trace, base, device_map, measured), check_memory=False
+    ).iteration_time
+
+    model_reports: Dict[str, object] = {}
+    for label in sorted(models):
+        model = models[label]
+        predictions: Dict[str, float] = {}
+        per_class_errors: Dict[str, List[float]] = {}
+        all_errors: List[float] = []
+        for record in trace.records:
+            device = device_map[record.device]
+            predicted = _predict_record(model, record, base, device)
+            predictions[record.name] = predicted
+            if record.duration > 0:
+                error = abs(predicted - record.duration) / record.duration
+                key = record.category if record.kind == "compute" else "comm"
+                per_class_errors.setdefault(key, []).append(error)
+                all_errors.append(error)
+        if not all_errors:
+            raise CostModelError(
+                "trace has no records with a positive measured duration; "
+                "nothing to score"
+            )
+        predicted_makespan = simulator.run(
+            _trace_tasks(trace, base, device_map, predictions),
+            check_memory=False,
+        ).iteration_time
+        makespan_error = (
+            abs(predicted_makespan - measured_makespan) / measured_makespan
+            if measured_makespan > 0
+            else 0.0
+        )
+        model_reports[label] = {
+            "signature": model.signature(),
+            "per_class": {
+                key: _error_stats(errors)
+                for key, errors in sorted(per_class_errors.items())
+            },
+            "overall": _error_stats(all_errors),
+            "makespan": {
+                "measured": round(measured_makespan, _ROUND + 6),
+                "predicted": round(predicted_makespan, _ROUND + 6),
+                "error_pct": round(100.0 * makespan_error, _ROUND),
+            },
+        }
+
+    return {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "trace": {
+            "num_records": len(trace.records),
+            "num_compute": len(trace.compute_records()),
+            "num_comm": len(trace.comm_records()),
+        },
+        "models": model_reports,
+    }
+
+
+def render_report(report: Mapping[str, object]) -> str:
+    """Human-readable table of a replay report (the CLI's output)."""
+    lines: List[str] = []
+    trace_info = report.get("trace", {})
+    lines.append(
+        "replayed {num_records} records "
+        "({num_compute} compute, {num_comm} comm)".format(**trace_info)
+    )
+    header = (
+        f"{'model':<10} {'class':<14} {'n':>5} "
+        f"{'MAPE%':>9} {'p50%':>9} {'p95%':>9}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    models = report.get("models", {})
+    for label in sorted(models):
+        entry = models[label]
+        rows = dict(entry["per_class"])
+        rows["(overall)"] = entry["overall"]
+        for klass in sorted(rows):
+            stats = rows[klass]
+            lines.append(
+                f"{label:<10} {klass:<14} {stats['count']:>5} "
+                f"{stats['mape']:>9.3f} {stats['p50']:>9.3f} {stats['p95']:>9.3f}"
+            )
+        makespan = entry["makespan"]
+        lines.append(
+            f"{label:<10} makespan: measured {makespan['measured']:.6g}s, "
+            f"predicted {makespan['predicted']:.6g}s "
+            f"(error {makespan['error_pct']:.3f}%)"
+        )
+    return "\n".join(lines)
+
+
+def write_report(
+    report: Mapping[str, object], path: "str | os.PathLike[str]"
+) -> None:
+    """Write a replay report as deterministic JSON (sorted keys, two-space
+    indent, trailing newline) — byte-identical for identical inputs."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

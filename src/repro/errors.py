@@ -60,6 +60,32 @@ class StrategyError(ReproError):
     arguments, compositions the runtime cannot lower)."""
 
 
+class CostModelError(ReproError):
+    """Raised for cost-model failures: unknown registry names, models that
+    cannot be constructed (a ``table`` model without a trace), or malformed
+    saved-model payloads."""
+
+
+class TraceError(CostModelError):
+    """Raised for malformed measured-trace payloads.
+
+    The message names the offending record (``record #i (name='...')``) so a
+    bad trace is debuggable from the error alone; :attr:`index` and
+    :attr:`record_name` carry the same information structurally.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        index: "int | None" = None,
+        record_name: "str | None" = None,
+    ):
+        super().__init__(message)
+        self.index = index
+        self.record_name = record_name
+
+
 class OutOfMemoryError(SimulationError):
     """Raised (or recorded) when a simulated device exceeds its memory capacity."""
 

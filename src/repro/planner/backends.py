@@ -71,6 +71,7 @@ class BackendSpec:
     option_names: Optional[Sequence[str]] = ()
 
     def validate_options(self, options: dict) -> None:
+        """Reject unknown keyword options early (raises PartitionError)."""
         if self.option_names is None:
             return
         unknown = sorted(set(options) - set(self.option_names))

@@ -58,6 +58,7 @@ def plan_cache_key(
     *,
     explore_factor_orders: bool = True,
     strategy: Optional[object] = None,
+    cost_model: Optional[str] = None,
 ) -> str:
     """The content address of one planning request.
 
@@ -67,6 +68,11 @@ def plan_cache_key(
     strategies that differ anywhere — replica-group count, stage count,
     schedule, micro-batches — can never collide on one cache entry, even
     when their ``tofu`` leaves would search identical plans.
+
+    ``cost_model`` is the pricing model's cache token
+    (:func:`repro.costmodel.cost_model_cache_token`): ``None`` under the
+    default roofline — the field is then absent, preserving every
+    pre-cost-model key — and the model's content signature otherwise.
 
     Raises ``TypeError`` when an input is not JSON-serialisable — e.g. a
     pre-built ``coarse=CoarsenedGraph`` backend option.  Such inputs have no
@@ -90,6 +96,8 @@ def plan_cache_key(
         # their pre-existing on-disk stores) keep their exact keys.
         to_dict = getattr(strategy, "to_dict", None)
         fields["strategy"] = to_dict() if callable(to_dict) else strategy
+    if cost_model is not None:
+        fields["cost_model"] = cost_model
     return content_key(fields)
 
 
@@ -107,6 +115,7 @@ class PlanCache(TwoTierCache):
 
     # ------------------------------------------------------------------ get
     def get(self, key: str) -> Optional[PartitionPlan]:
+        """The cached plan under ``key``, or ``None`` on a miss."""
         payload = self.get_payload(key)
         if payload is None:
             return None
@@ -114,4 +123,5 @@ class PlanCache(TwoTierCache):
 
     # ------------------------------------------------------------------ put
     def put(self, key: str, plan: PartitionPlan) -> None:
+        """Store ``plan`` under ``key`` in every enabled tier."""
         self.put_payload(key, plan_to_dict(plan))

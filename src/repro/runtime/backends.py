@@ -92,6 +92,7 @@ class ExecutionBackendSpec:
     option_names: Optional[Sequence[str]] = ()
 
     def validate_options(self, options: Mapping[str, object]) -> None:
+        """Reject unknown keyword options early (raises ExecutionError)."""
         if self.option_names is None:
             return
         unknown = sorted(set(options) - set(self.option_names))

@@ -54,6 +54,7 @@ def lowered_cache_key(
     backend_options: Mapping[str, object],
     *,
     plan: Optional[object] = None,
+    cost_model: Optional[str] = None,
 ) -> str:
     """The content address of one lowering request.
 
@@ -61,6 +62,13 @@ def lowered_cache_key(
     machine, backend, and options lower to different programs under
     different plans, and a plan has no shorter stable signature than its
     content.
+
+    ``cost_model`` is the pricing model's cache token
+    (:func:`repro.costmodel.cost_model_cache_token`): ``None`` under the
+    default roofline — the field is then absent, so every program lowered
+    before the cost-model subsystem existed keeps its exact key — and the
+    model's content signature otherwise, separating entries priced by
+    different models.
 
     Raises ``TypeError`` when a backend option is not JSON-serialisable
     (e.g. a pre-built ``coarse=CoarsenedGraph``).  Such requests have no
@@ -77,6 +85,8 @@ def lowered_cache_key(
     }
     if plan is not None:
         fields["plan"] = plan_to_dict(plan)
+    if cost_model is not None:
+        fields["cost_model"] = cost_model
     return content_key(fields)
 
 
@@ -94,6 +104,7 @@ class ProgramCache(TwoTierCache):
 
     # ------------------------------------------------------------------ get
     def get(self, key: str) -> Optional[LoweredProgram]:
+        """The cached program under ``key``, or ``None`` on a miss."""
         payload = self.get_payload(key)
         if payload is None:
             return None
@@ -101,6 +112,7 @@ class ProgramCache(TwoTierCache):
 
     # ------------------------------------------------------------------ put
     def put(self, key: str, program: LoweredProgram) -> None:
+        """Store ``program`` under ``key`` in every enabled tier."""
         self.put_payload(key, program_to_dict(program))
 
 

@@ -57,6 +57,14 @@ class ExecutorConfig:
             ``lower``/``simulate``/``run`` call on this executor, readable
             as ``executor.profile_timer`` and surfaced by ``repro.compile``
             as ``CompiledModel.metadata["profile"]``.
+        cost_model: Pricing model for kernels and transfers — a registry
+            name (``"roofline"``, ``"table:trace=/path.json"``), a path to
+            a saved model, or a :class:`repro.costmodel.CostModel`
+            instance.  The default ``"roofline"`` keeps the built-in
+            arithmetic (and defers to any model activated with
+            ``repro.costmodel.use_cost_model``); a non-default model wins
+            over the context and folds its signature into program-cache
+            keys.
     """
 
     backend: str = "tofu-partitioned"
@@ -66,6 +74,7 @@ class ExecutorConfig:
     program_cache_capacity: Optional[int] = None
     program_cache_max_bytes: Optional[int] = None
     profile: bool = False
+    cost_model: object = "roofline"
 
 
 @dataclass
@@ -79,6 +88,7 @@ class SimulationReport:
 
     @property
     def backend(self) -> str:
+        """Name of the execution backend that produced this report."""
         return self.program.backend if self.program is not None else ""
 
     @property
@@ -88,6 +98,7 @@ class SimulationReport:
         return self.program.strategy if self.program is not None else None
 
     def throughput(self, batch_size: int) -> float:
+        """Training throughput in samples/s for ``batch_size``."""
         return self.result.throughput(batch_size)
 
     # ------------------------------------------------- pipeline introspection
@@ -127,6 +138,7 @@ class SimulationReport:
         return min(1.0, self.bubble_time / total)
 
     def summary(self) -> str:
+        """One human-readable block: timing, memory, and comm volume."""
         lines = []
         if self.strategy:
             lines.append(f"strategy: {self.strategy}")
@@ -202,7 +214,25 @@ class Executor:
         hit returns a reconstructed program without running any lowering
         pass; requests whose options have no stable content address (e.g. a
         pre-built coarsened graph) bypass the cache.
+
+        Kernel costing and comm pricing run under the configured cost model
+        (``config.cost_model``; the default roofline defers to any model
+        activated via ``repro.costmodel.use_cost_model``).  A non-default
+        model's signature joins the program-cache key, so programs priced
+        by different models never collide.
+
+        Raises:
+            ExecutionError: For an unknown backend, invalid options, or a
+                plan-requiring backend invoked without a plan.
+            CostModelError: When ``config.cost_model`` cannot be resolved.
         """
+        from repro.costmodel import (
+            active_cost_model,
+            configured_cost_model,
+            cost_model_cache_token,
+            use_cost_model,
+        )
+
         with perf.activation(self.profile_timer):
             spec = get_execution_backend(backend or self.config.backend)
             options = {**self.config.backend_options, **(backend_options or {})}
@@ -215,11 +245,22 @@ class Executor:
                 )
             machine = self._resolve_machine(machine, plan)
 
+            config_model = configured_cost_model(self.config.cost_model)
+            effective_model = (
+                config_model if config_model is not None else active_cost_model()
+            )
+            token = cost_model_cache_token(effective_model)
+
             key: Optional[str] = None
             if self.config.cache_programs and self.program_cache.enabled:
                 try:
                     key = lowered_cache_key(
-                        graph, machine, spec.name, options, plan=plan
+                        graph,
+                        machine,
+                        spec.name,
+                        options,
+                        plan=plan,
+                        cost_model=token,
                     )
                 except (TypeError, AttributeError):
                     key = None
@@ -230,10 +271,12 @@ class Executor:
                     return cached
                 perf.count("program_cache.miss")
 
-            with perf.stage(f"lower.{spec.name}"):
+            with perf.stage(f"lower.{spec.name}"), use_cost_model(config_model):
                 program = spec.lower(graph, machine, plan, **options)
             if program.machine is None:
                 program.machine = machine
+            if program.cost_model is None:
+                program.cost_model = token
             if key is not None:
                 try:
                     self.program_cache.put(key, program)

@@ -56,6 +56,10 @@ class LoweredProgram:
         strategy: Canonical string of the :class:`repro.strategy.Strategy`
             the program was compiled from, when it came through
             ``repro.compile`` (provenance; empty for direct Executor use).
+        cost_model: Cache token of the non-default cost model the program
+            was priced under (``repro.costmodel.cost_model_cache_token``),
+            or ``None`` for the default roofline pricing (provenance, and
+            the discriminator the program-cache key folds in).
     """
 
     backend: str
@@ -72,6 +76,7 @@ class LoweredProgram:
     stage_of_node: Optional[Mapping[str, int]] = None
     schedule: Optional["PipelineSchedule"] = None
     strategy: Optional[str] = None
+    cost_model: Optional[str] = None
     #: Set by :meth:`freeze`; never serialised (a reloaded program starts
     #: unfrozen — whoever reconstructs it must opt in again).
     _frozen: Optional[FrozenTaskGraph] = field(
@@ -112,6 +117,7 @@ class LoweredProgram:
 
     @property
     def per_device_peak_bytes(self) -> int:
+        """Largest planned peak memory across devices, in bytes."""
         return max(self.per_device_memory.values(), default=0)
 
     @property
@@ -122,6 +128,7 @@ class LoweredProgram:
         return 1
 
     def summary(self) -> str:
+        """One human-readable line per headline stat of the lowering."""
         gib = 1 << 30
         pipeline = ""
         if self.schedule is not None:
@@ -160,6 +167,7 @@ def _task_to_dict(task: Task) -> Dict:
         },
         "src_device": task.src_device,
         "dst_device": task.dst_device,
+        "comm_time": task.comm_time,
     }
 
 
@@ -177,6 +185,7 @@ def _task_from_dict(payload: Mapping) -> Task:
         link=None if link is None else Link(**link),
         src_device=payload.get("src_device"),
         dst_device=payload.get("dst_device"),
+        comm_time=payload.get("comm_time"),
     )
 
 
@@ -219,6 +228,7 @@ def program_to_dict(program: LoweredProgram) -> Dict:
         ),
         "schedule": None,
         "strategy": program.strategy,
+        "cost_model": program.cost_model,
         "partitioned": None,
     }
     if program.schedule is not None:
@@ -326,4 +336,5 @@ def program_from_dict(payload: Mapping) -> LoweredProgram:
         ),
         schedule=schedule,
         strategy=payload.get("strategy"),
+        cost_model=payload.get("cost_model"),
     )

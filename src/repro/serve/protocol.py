@@ -125,6 +125,7 @@ class CompileResponse:
 
     @property
     def ok(self) -> bool:
+        """Whether the compile succeeded (``error`` is unset)."""
         return self.status == "ok"
 
     def as_dedup_follower(self, request_id: Optional[str] = None) -> "CompileResponse":

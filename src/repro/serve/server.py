@@ -67,6 +67,7 @@ class CompileServer:
         return self.host, self.port
 
     async def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` is called."""
         if self._server is None:
             await self.start()
         assert self._server is not None
@@ -74,6 +75,7 @@ class CompileServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        """Stop accepting connections and shut the service down."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -201,6 +203,7 @@ class CompileClient:
         return response_from_wire(json.loads(line))
 
     def close(self) -> None:
+        """Close the connection (idempotent)."""
         try:
             self._file.close()
         finally:

@@ -62,6 +62,7 @@ class PendingCompile:
     request_id: Optional[str] = None
 
     def result(self, timeout: Optional[float] = None) -> CompileResponse:
+        """Block until the compile finishes and return its response."""
         response = self.future.result(timeout)
         if self.leader:
             return response

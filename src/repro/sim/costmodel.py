@@ -8,16 +8,64 @@ so that single-GPU throughputs land in the right regime for the paper's
 models; the *relative* behaviour between systems — which is what the
 evaluation compares — is driven by communication volume and memory capacity,
 not by these constants.
+
+This module is also the seam the pluggable cost-model subsystem
+(:mod:`repro.costmodel`) hooks into: :func:`node_kernel_time` extracts one
+:class:`OpSample` of operator features and, when a cost model is active
+(:data:`_ACTIVE_COST_MODEL`, set via ``repro.costmodel.use_cost_model`` or
+the ``cost_model`` knobs of the facades), defers pricing to it.  With no
+active model the original roofline arithmetic runs unchanged — that default
+path is the bit-exact behaviour every cache key and benchmark baseline
+assumes.
 """
 
 from __future__ import annotations
 
+from contextvars import ContextVar
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.graph.graph import Graph
 from repro.graph.shape_inference import node_bytes, node_flops
 from repro.ops.registry import get_op
 from repro.sim.device import DeviceSpec, MachineSpec
+
+#: The cost model pricing kernels and transfers in the current context, or
+#: ``None`` for the built-in roofline arithmetic.  Lives here (the leaf
+#: module both the lowering passes and :mod:`repro.costmodel` import) so
+#: neither side needs a lazy import; set it through
+#: :func:`repro.costmodel.use_cost_model`, never directly.
+_ACTIVE_COST_MODEL: ContextVar[Optional[object]] = ContextVar(
+    "repro_active_cost_model", default=None
+)
+
+
+def active_cost_model() -> Optional[object]:
+    """The :class:`repro.costmodel.CostModel` active in this context, or
+    ``None`` when pricing follows the default roofline path."""
+    return _ACTIVE_COST_MODEL.get()
+
+
+@dataclass(frozen=True)
+class OpSample:
+    """Features of one kernel launch — the input to ``CostModel.op_time``.
+
+    Attributes:
+        op: Registered operator name (``"matmul"``, ``"conv2d"``, ...).
+        category: The operator's cost category (a
+            :data:`CATEGORY_EFFICIENCY` key).
+        flops: Floating-point operations of this launch (already scaled to
+            the per-device shard under partitioned execution).
+        mem_bytes: Bytes read and written by this launch (scaled likewise).
+        out_elements: Output tensor elements (the roofline's proxy for
+            available parallelism; scaled likewise).
+    """
+
+    op: str
+    category: str
+    flops: float
+    mem_bytes: float
+    out_elements: float
 
 #: Fraction of peak FLOPs achievable per operator category on large inputs.
 CATEGORY_EFFICIENCY: Dict[str, float] = {
@@ -64,6 +112,24 @@ def kernel_time(
     return max(compute_time, memory_time) + machine.kernel_launch_overhead
 
 
+def node_sample(graph: Graph, node_name: str, *, scale: float = 1.0) -> OpSample:
+    """The :class:`OpSample` feature vector of one graph node.
+
+    ``scale = 1/k`` shrinks FLOPs, bytes and output parallelism to the
+    per-device shard, exactly as :func:`node_kernel_time` prices them.
+    """
+    node = graph.node(node_name)
+    return OpSample(
+        op=node.op,
+        category=category_of(node.op),
+        flops=node_flops(graph, node_name) * scale,
+        mem_bytes=node_bytes(graph, node_name) * scale,
+        out_elements=sum(
+            graph.tensor(t).num_elements() for t in node.outputs
+        ) * scale,
+    )
+
+
 def node_kernel_time(
     graph: Graph,
     node_name: str,
@@ -78,12 +144,23 @@ def node_kernel_time(
     across ``k`` workers: FLOPs, bytes and output parallelism all shrink by
     the same factor (the paper notes GPU kernels on very large tensors keep
     similar efficiency regardless of which dimension is split, Sec 5).
+
+    When a cost model is active (:func:`active_cost_model`), the node's
+    :class:`OpSample` is priced by ``model.op_time`` instead of the roofline
+    arithmetic below; the fused-accumulation special case stays here in both
+    paths because it is structural (the kernel does not launch separately),
+    not a pricing decision.
     """
     node = graph.node(node_name)
     if node.attrs.get("fused_accumulation"):
         # Gradient accumulation rides on the producing kernel's output write
         # (GEMM with beta=1); only the launch overhead remains.
         return machine.kernel_launch_overhead
+    model = _ACTIVE_COST_MODEL.get()
+    if model is not None:
+        return model.op_time(
+            node_sample(graph, node_name, scale=scale), device, machine
+        )
     flops = node_flops(graph, node_name) * scale
     mem = node_bytes(graph, node_name) * scale
     out_elems = sum(

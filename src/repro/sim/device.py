@@ -86,19 +86,23 @@ class MachineSpec:
 
     @property
     def num_devices(self) -> int:
+        """Number of devices in this machine."""
         return len(self.devices)
 
     @property
     def num_machines(self) -> int:
+        """Always 1 — a bare machine is the degenerate one-machine cluster."""
         return 1
 
     def device(self, index: int) -> DeviceSpec:
+        """The device at ``index`` (0-based)."""
         return self.devices[index]
 
     # -------------------------------------------------------- link resolution
     # A bare machine is the degenerate one-machine cluster: every transfer is
     # intra-machine, so the resolution layer below mirrors ClusterSpec's.
     def machine_of(self, device_index: int) -> int:
+        """Always 0 — every device lives on this machine."""
         return 0
 
     def p2p_link(self, dst_device: int) -> Link:
@@ -118,6 +122,7 @@ class MachineSpec:
         return self.p2p_link(dst_device)
 
     def host_memory_of(self, device_index: int) -> int:
+        """Host (CPU) memory reachable from ``device_index``, in bytes."""
         return self.cpu_memory
 
     def _check_device(self, index: int) -> None:
@@ -156,34 +161,42 @@ class ClusterSpec:
     # ----------------------------------------------------- MachineSpec surface
     @property
     def devices(self) -> List[DeviceSpec]:
+        """Every device in the cluster, in global-index order."""
         return [d for machine in self.machines for d in machine.devices]
 
     @property
     def num_devices(self) -> int:
+        """Total device count across all machines."""
         return sum(machine.num_devices for machine in self.machines)
 
     @property
     def num_machines(self) -> int:
+        """Number of machines in the cluster."""
         return len(self.machines)
 
     def device(self, index: int) -> DeviceSpec:
+        """The device at global index ``index``."""
         machine, local = self.locate(index)
         return machine.device(local)
 
     @property
     def kernel_launch_overhead(self) -> float:
+        """Machine 0's launch overhead (machines are assumed homogeneous)."""
         return self.machines[0].kernel_launch_overhead
 
     @property
     def p2p_bandwidth(self) -> float:
+        """Machine 0's PCI-e peer-to-peer bandwidth, bytes/s."""
         return self.machines[0].p2p_bandwidth
 
     @property
     def cpu_bandwidth(self) -> float:
+        """Machine 0's shared host-link bandwidth, bytes/s."""
         return self.machines[0].cpu_bandwidth
 
     @property
     def cpu_memory(self) -> int:
+        """Machine 0's host memory, bytes."""
         return self.machines[0].cpu_memory
 
     # ------------------------------------------------------------- structure
@@ -214,12 +227,14 @@ class ClusterSpec:
 
     # -------------------------------------------------------- link resolution
     def p2p_link(self, dst_device: int) -> Link:
+        """The destination device's PCI-e link within its machine."""
         machine, _ = self.locate(dst_device)
         return Link(
             kind="p2p", key=f"p2p:{dst_device}", bandwidth=machine.p2p_bandwidth
         )
 
     def host_link(self, device_index: int = 0) -> Link:
+        """The shared CPU link of the machine holding ``device_index``."""
         machine_index = self.machine_of(device_index)
         machine = self.machines[machine_index]
         return Link(
@@ -250,6 +265,7 @@ class ClusterSpec:
         return self.network_link(dst_machine)
 
     def host_memory_of(self, device_index: int) -> int:
+        """Host memory of the machine holding ``device_index``, in bytes."""
         machine, _ = self.locate(device_index)
         return machine.cpu_memory
 

@@ -118,6 +118,12 @@ class Task:
     #: hybrid backend's replica groups) can re-resolve the link there.
     src_device: Optional[int] = None
     dst_device: Optional[int] = None
+    #: Explicit transfer duration in seconds.  When set it replaces
+    #: ``link.transfer_time(comm_bytes)`` — this is how a non-default cost
+    #: model (or a replayed measured trace) prices communication; ``None``
+    #: keeps the link-bandwidth arithmetic.  The link still provides the
+    #: contention queue either way.
+    comm_time: Optional[float] = None
 
     def ordering_deps(self) -> Iterable[str]:
         """Data and control dependencies, in one stream."""
@@ -279,7 +285,11 @@ def compile_task_graph(
                 slot = link_slot[link.key] = num_slots
                 num_slots += 1
             slots[i] = slot
-            durations[i] = link.transfer_time(task.comm_bytes)
+            durations[i] = (
+                task.comm_time
+                if task.comm_time is not None
+                else link.transfer_time(task.comm_bytes)
+            )
             busy = link_busy_index.get(link.key)
             if busy is None:
                 busy = link_busy_index[link.key] = len(link_keys)
@@ -356,6 +366,7 @@ def task_graph_fingerprint(tasks: Dict[str, Task]) -> Tuple:
                 task.link,
                 tuple(task.deps),
                 tuple(task.after),
+                task.comm_time,
             )
             for name, task in tasks.items()
         ]
@@ -609,7 +620,12 @@ class TaskGraphSimulator:
                         self.machine, name, task.channel, task.device
                     )
                 start = max(ready, link_available.get(link.key, 0.0))
-                end = start + link.transfer_time(task.comm_bytes)
+                transfer = (
+                    task.comm_time
+                    if task.comm_time is not None
+                    else link.transfer_time(task.comm_bytes)
+                )
+                end = start + transfer
                 link_available[link.key] = end
                 link_busy[link.key] = link_busy.get(link.key, 0.0) + (end - start)
                 comm_busy[task.device] = comm_busy.get(task.device, 0.0) + (end - start)

@@ -79,6 +79,7 @@ class StrategyLowering:
     machine: Optional[Topology] = None
 
     def describe(self) -> str:
+        """One line naming the backend and options this lowering runs."""
         parts = [f"executor: {self.backend}"]
         if self.options:
             rendered = ", ".join(

@@ -1,0 +1,217 @@
+"""Cost-model threading through caches, configs, ``repro.compile`` and the
+CLI — the compatibility half of the tentpole: default-priced cache keys must
+be byte-identical to the pre-cost-model ones, and only a *non-default* model
+may change them."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+import repro
+from repro.costmodel import (
+    cost_model_cache_token,
+    default_roofline,
+    fit_cost_model,
+    load_trace,
+    save_cost_model,
+    use_cost_model,
+)
+from repro.planner.cache import plan_cache_key
+from repro.runtime import Executor, ExecutorConfig, program_from_dict, program_to_dict
+from repro.runtime.cache import lowered_cache_key
+from repro.sim.device import k80_8gpu_machine
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+SAMPLE_TRACE = os.path.join(REPO_ROOT, "benchmarks", "data", "sample_trace.json")
+
+MACHINE = k80_8gpu_machine(4)
+
+
+@pytest.fixture(scope="module")
+def table_model():
+    return fit_cost_model(load_trace(SAMPLE_TRACE), "table")
+
+
+# ------------------------------------------------------------- cache keys
+def test_default_cache_keys_unchanged(mlp_bundle):
+    """``cost_model=None`` must be a no-op on both cache-key functions: every
+    pre-existing cache entry keeps its exact address."""
+    without = lowered_cache_key(mlp_bundle.graph, MACHINE, "single-device", {})
+    with_none = lowered_cache_key(
+        mlp_bundle.graph, MACHINE, "single-device", {}, cost_model=None
+    )
+    assert without == with_none
+
+    factors = (2, 2)
+    p_without = plan_cache_key(mlp_bundle.graph, factors, MACHINE, "tofu", {})
+    p_with_none = plan_cache_key(
+        mlp_bundle.graph, factors, MACHINE, "tofu", {}, cost_model=None
+    )
+    assert p_without == p_with_none
+
+
+def test_non_default_model_changes_cache_keys(mlp_bundle, table_model):
+    token = cost_model_cache_token(table_model)
+    assert token is not None and token.startswith("table:")
+    base = lowered_cache_key(mlp_bundle.graph, MACHINE, "single-device", {})
+    keyed = lowered_cache_key(
+        mlp_bundle.graph, MACHINE, "single-device", {}, cost_model=token
+    )
+    assert keyed != base
+
+    factors = (2, 2)
+    p_base = plan_cache_key(mlp_bundle.graph, factors, MACHINE, "tofu", {})
+    p_keyed = plan_cache_key(
+        mlp_bundle.graph, factors, MACHINE, "tofu", {}, cost_model=token
+    )
+    assert p_keyed != p_base
+
+
+def test_roofline_token_is_none():
+    assert cost_model_cache_token(None) is None
+    assert cost_model_cache_token(default_roofline()) is None
+
+
+# --------------------------------------------------- executor and planner
+def test_configured_table_model_changes_timings(mlp_bundle, table_model):
+    default_run = Executor(ExecutorConfig(cache_programs=False)).run(
+        mlp_bundle.graph, machine=MACHINE, backend="single-device"
+    )
+    table_run = Executor(
+        ExecutorConfig(cache_programs=False, cost_model=table_model)
+    ).run(mlp_bundle.graph, machine=MACHINE, backend="single-device")
+    assert (
+        table_run.result.iteration_time != default_run.result.iteration_time
+    )
+    assert table_run.program.cost_model == cost_model_cache_token(table_model)
+    assert default_run.program.cost_model is None
+
+
+def test_context_model_reaches_lowering(mlp_bundle, table_model):
+    """``use_cost_model`` alone (no config) must reroute kernel costing."""
+    executor = Executor(ExecutorConfig(cache_programs=False))
+    default_run = executor.run(
+        mlp_bundle.graph, machine=MACHINE, backend="single-device"
+    )
+    with use_cost_model(table_model):
+        table_run = executor.run(
+            mlp_bundle.graph, machine=MACHINE, backend="single-device"
+        )
+    assert (
+        table_run.result.iteration_time != default_run.result.iteration_time
+    )
+
+
+def test_config_model_beats_context_model(mlp_bundle, table_model):
+    """An explicit non-default config wins over the surrounding context."""
+    configured = Executor(
+        ExecutorConfig(cache_programs=False, cost_model=table_model)
+    )
+    with use_cost_model(default_roofline()):
+        run = configured.run(
+            mlp_bundle.graph, machine=MACHINE, backend="single-device"
+        )
+    assert run.program.cost_model == cost_model_cache_token(table_model)
+
+
+def test_program_cache_separates_models(mlp_bundle, table_model):
+    """Two executors sharing the default program cache, two models: the
+    second run must not replay the first run's cached program."""
+    executor = Executor(ExecutorConfig(cost_model="roofline"))
+    default_run = executor.run(
+        mlp_bundle.graph, machine=MACHINE, backend="single-device"
+    )
+    table_executor = Executor(ExecutorConfig(cost_model=table_model))
+    table_run = table_executor.run(
+        mlp_bundle.graph, machine=MACHINE, backend="single-device"
+    )
+    assert (
+        table_run.result.iteration_time != default_run.result.iteration_time
+    )
+
+
+def test_program_codec_round_trips_cost_model_fields(mlp_bundle, table_model):
+    run = Executor(
+        ExecutorConfig(cache_programs=False, cost_model=table_model)
+    ).run(mlp_bundle.graph, machine=MACHINE, backend="single-device")
+    clone = program_from_dict(program_to_dict(run.program))
+    assert clone.cost_model == run.program.cost_model
+    for name, task in run.program.tasks.items():
+        assert clone.tasks[name].comm_time == task.comm_time
+
+
+# ----------------------------------------------------------- repro.compile
+def test_compile_accepts_cost_model(mlp_bundle, table_model):
+    default_model = repro.compile(mlp_bundle.graph, "single", MACHINE)
+    priced = repro.compile(
+        mlp_bundle.graph, "single", MACHINE, cost_model=table_model
+    )
+    assert priced.iteration_time != default_model.iteration_time
+    assert priced.metadata["cost_model"] == cost_model_cache_token(table_model)
+    assert "cost_model" not in default_model.metadata
+
+
+def test_compile_accepts_saved_model_path(mlp_bundle, table_model, tmp_path):
+    path = tmp_path / "table.json"
+    save_cost_model(table_model, str(path))
+    priced = repro.compile(
+        mlp_bundle.graph, "single", MACHINE, cost_model=str(path)
+    )
+    assert priced.metadata["cost_model"] == cost_model_cache_token(table_model)
+
+
+# -------------------------------------------------------------------- CLI
+def test_cli_replay_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    output = tmp_path / "report.json"
+    code = main([
+        "replay", "--trace", SAMPLE_TRACE, "--models", "roofline,table",
+        "--output", str(output),
+    ])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "roofline" in text and "table" in text
+    report = json.loads(output.read_text(encoding="utf-8"))
+    assert report["format"] == "tofu-replay-report"
+    assert (
+        report["models"]["table"]["overall"]["mape"]
+        < report["models"]["roofline"]["overall"]["mape"]
+    )
+
+
+def test_cli_replay_fit_saves_model(tmp_path, capsys):
+    from repro.cli import main
+
+    saved = tmp_path / "model.json"
+    code = main([
+        "replay", "--trace", SAMPLE_TRACE, "--models", "roofline",
+        "--fit", "table", "--save-model", str(saved),
+    ])
+    assert code == 0
+    capsys.readouterr()
+    payload = json.loads(saved.read_text(encoding="utf-8"))
+    assert payload["format"] == "tofu-cost-model"
+    assert payload["cost_model"]["model"] == "table"
+
+
+def test_cli_replay_fit_requires_save_model(capsys):
+    from repro.cli import main
+
+    code = main(["replay", "--trace", SAMPLE_TRACE, "--fit", "table"])
+    assert code == 1
+    assert "save-model" in capsys.readouterr().err
+
+
+def test_cli_simulate_accepts_cost_model(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main([
+        "simulate", "--model", "mlp", "--workers", "4",
+        "--cost-model", f"table:trace={SAMPLE_TRACE}",
+    ])
+    assert code == 0
+    assert capsys.readouterr().out

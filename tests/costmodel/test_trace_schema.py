@@ -1,0 +1,179 @@
+"""Trace-schema contract: round-trips are lossless and malformed traces
+fail with a :class:`TraceError` that *names the offending record* — the
+docs/trace-schema.md guarantees, enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.costmodel import (
+    Trace,
+    TraceError,
+    TraceRecord,
+    load_trace,
+    save_trace,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+REPO_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "..")
+SAMPLE_TRACE = os.path.join(REPO_ROOT, "benchmarks", "data", "sample_trace.json")
+
+
+def _tiny_trace() -> Trace:
+    return Trace(
+        records=(
+            TraceRecord(
+                name="mm0", kind="compute", duration=1.5, op="matmul",
+                category="matmul", flops=2.0e9, mem_bytes=3.0e6,
+                out_elements=1.0e4, device="gpu0",
+            ),
+            TraceRecord(
+                name="x0", kind="comm", duration=0.25, comm_bytes=4096.0,
+                channel="p2p", device="gpu1", deps=("mm0",),
+            ),
+        ),
+        metadata={"source": "unit-test"},
+    )
+
+
+# ------------------------------------------------------------- round-trips
+def test_dict_round_trip_is_lossless():
+    trace = _tiny_trace()
+    assert trace_from_dict(trace_to_dict(trace)) == trace
+
+
+def test_file_round_trip_is_lossless(tmp_path):
+    trace = _tiny_trace()
+    path = tmp_path / "trace.json"
+    save_trace(trace, str(path))
+    assert load_trace(str(path)) == trace
+
+
+def test_save_trace_is_deterministic(tmp_path):
+    trace = _tiny_trace()
+    a, b = tmp_path / "a.json", tmp_path / "b.json"
+    save_trace(trace, str(a))
+    save_trace(trace, str(b))
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_checked_in_sample_trace_loads():
+    trace = load_trace(SAMPLE_TRACE)
+    assert len(trace.compute_records()) == 45
+    assert len(trace.comm_records()) == 5
+    assert trace_from_dict(trace_to_dict(trace)) == trace
+
+
+def test_sample_trace_round_trips_byte_stable(tmp_path):
+    """Re-serialising the checked-in trace reproduces it byte-for-byte."""
+    rewritten = tmp_path / "trace.json"
+    save_trace(load_trace(SAMPLE_TRACE), str(rewritten))
+    with open(SAMPLE_TRACE, "rb") as handle:
+        assert rewritten.read_bytes() == handle.read()
+
+
+# -------------------------------------------------------- malformed traces
+def _payload(**record_overrides):
+    record = {
+        "name": "mm0", "kind": "compute", "duration": 1.0, "op": "matmul",
+    }
+    record.update(record_overrides)
+    return {"format": "tofu-trace", "version": 1, "records": [record]}
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(TraceError, match="format"):
+        trace_from_dict({"format": "not-a-trace", "version": 1, "records": []})
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(TraceError, match="version"):
+        trace_from_dict({"format": "tofu-trace", "version": 99, "records": []})
+
+
+def test_missing_name_names_the_record():
+    payload = _payload()
+    del payload["records"][0]["name"]
+    with pytest.raises(TraceError, match=r"record #0"):
+        trace_from_dict(payload)
+
+
+def test_nan_duration_names_the_record():
+    with pytest.raises(TraceError, match=r"record #0 \(name='mm0'\)"):
+        trace_from_dict(_payload(duration=float("nan")))
+
+
+def test_negative_duration_names_the_record():
+    with pytest.raises(TraceError, match="mm0"):
+        trace_from_dict(_payload(duration=-1.0))
+
+
+def test_boolean_duration_rejected():
+    with pytest.raises(TraceError, match="duration"):
+        trace_from_dict(_payload(duration=True))
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(TraceError, match="kind"):
+        trace_from_dict(_payload(kind="gpu"))
+
+
+def test_compute_record_requires_op():
+    with pytest.raises(TraceError, match="op"):
+        trace_from_dict(_payload(op=""))
+
+
+def test_duplicate_names_rejected():
+    payload = _payload()
+    payload["records"].append(dict(payload["records"][0]))
+    with pytest.raises(TraceError, match="duplicate"):
+        trace_from_dict(payload)
+
+
+def test_dangling_dep_names_both_records():
+    with pytest.raises(TraceError, match=r"mm0.*ghost"):
+        trace_from_dict(_payload(deps=["ghost"]))
+
+
+def test_error_carries_structured_location():
+    try:
+        trace_from_dict(_payload(duration=float("inf")))
+    except TraceError as err:
+        assert err.index == 0
+        assert err.record_name == "mm0"
+    else:  # pragma: no cover
+        pytest.fail("expected TraceError")
+
+
+def test_unparseable_json_raises_trace_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(TraceError, match="JSON"):
+        load_trace(str(path))
+
+
+def test_non_dict_metadata_rejected():
+    payload = _payload()
+    payload["metadata"] = ["oops"]
+    with pytest.raises(TraceError, match="metadata"):
+        trace_from_dict(payload)
+
+
+def test_comm_record_validates_comm_bytes():
+    payload = _payload(kind="comm", comm_bytes="lots")
+    del payload["records"][0]["op"]
+    with pytest.raises(TraceError, match="comm_bytes"):
+        trace_from_dict(payload)
+
+
+def test_trace_error_is_json_clean():
+    """The diagnostic must be printable (the CLI relays it verbatim)."""
+    try:
+        trace_from_dict(_payload(duration=float("nan")))
+    except TraceError as err:
+        json.dumps(str(err))

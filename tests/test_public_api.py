@@ -2,12 +2,18 @@
 
 Accidentally dropping (or silently adding) a public name is an API break for
 downstream users; this test pins the ``__all__`` of ``repro``,
-``repro.strategy``, ``repro.planner`` and ``repro.runtime`` against a
-checked-in list so CI fails on any unreviewed change.  When a change is
-intentional, update the snapshot here *and* the README migration notes.
+``repro.strategy``, ``repro.planner``, ``repro.runtime``, ``repro.serve``
+and ``repro.costmodel`` against a checked-in list so CI fails on any
+unreviewed change.  When a change is intentional, update the snapshot here
+*and* the README migration notes.
+
+The same surface is also held to a documentation bar: every exported symbol
+— and every public method it defines — must carry a non-empty docstring
+(``test_public_surface_is_documented``).
 """
 
 import importlib
+import inspect
 
 import pytest
 
@@ -118,11 +124,62 @@ RUNTIME_EXPORTS = [
     "unregister_execution_backend",
 ]
 
+SERVE_EXPORTS = [
+    "CompileClient",
+    "CompileRequest",
+    "CompileResponse",
+    "CompileServer",
+    "CompileService",
+    "PendingCompile",
+    "request_from_wire",
+    "request_to_wire",
+    "response_from_wire",
+    "response_to_wire",
+]
+
+COSTMODEL_EXPORTS = [
+    "CostModel",
+    "CostModelError",
+    "CostModelSpec",
+    "FittedCostModel",
+    "OpSample",
+    "RooflineCostModel",
+    "TableCostModel",
+    "Trace",
+    "TraceError",
+    "TraceRecord",
+    "active_cost_model",
+    "available_cost_models",
+    "configured_cost_model",
+    "cost_model_cache_token",
+    "cost_model_from_dict",
+    "current_cost_model",
+    "default_roofline",
+    "fit_cost_model",
+    "get_cost_model_spec",
+    "load_cost_model",
+    "load_entry_point_cost_models",
+    "load_trace",
+    "register_cost_model",
+    "render_report",
+    "replay_trace",
+    "resolve_cost_model",
+    "save_cost_model",
+    "save_trace",
+    "trace_from_dict",
+    "trace_to_dict",
+    "unregister_cost_model",
+    "use_cost_model",
+    "write_report",
+]
+
 SNAPSHOTS = {
     "repro": REPRO_EXPORTS,
     "repro.strategy": STRATEGY_EXPORTS,
     "repro.planner": PLANNER_EXPORTS,
     "repro.runtime": RUNTIME_EXPORTS,
+    "repro.serve": SERVE_EXPORTS,
+    "repro.costmodel": COSTMODEL_EXPORTS,
 }
 
 
@@ -144,6 +201,41 @@ def test_exported_names_resolve(module_name):
     module = importlib.import_module(module_name)
     missing = [name for name in module.__all__ if not hasattr(module, name)]
     assert not missing, f"{module_name} exports names it does not define: {missing}"
+
+
+def _public_methods(cls):
+    """Methods (and properties) defined *by this class* with public names."""
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, (staticmethod, classmethod)):
+            member = member.__func__
+        elif isinstance(member, property):
+            member = member.fget
+        if inspect.isfunction(member):
+            yield name, member
+
+
+@pytest.mark.parametrize("module_name", sorted(SNAPSHOTS))
+def test_public_surface_is_documented(module_name):
+    """Every exported symbol — and every public method a class defines —
+    carries a non-empty docstring.  The docs tree links by name into this
+    surface, so an undocumented export is a docs regression."""
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if not callable(obj) and not inspect.isclass(obj):
+            continue  # plain data like __version__
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(f"{module_name}.{name}")
+        if inspect.isclass(obj):
+            for method_name, method in _public_methods(obj):
+                if not (method.__doc__ or "").strip():
+                    undocumented.append(f"{module_name}.{name}.{method_name}")
+    assert not undocumented, (
+        f"public symbols without docstrings: {sorted(undocumented)}"
+    )
 
 
 def test_strategy_combinators_cover_execution_styles():

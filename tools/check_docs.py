@@ -1,0 +1,139 @@
+"""Intra-repo markdown link checker (no external dependencies).
+
+Walks the repo's markdown files (``README.md``, ``docs/``, ``ROADMAP.md``,
+``PAPER.md``, ``CHANGES.md``) and verifies every *relative* link resolves:
+
+* ``[text](path)`` and ``[text](path#anchor)`` — the file must exist, and
+  a ``#anchor`` into a markdown file must match a heading's GitHub-style
+  slug;
+* ``[text](#anchor)`` — the anchor must exist in the same file.
+
+External links (``http(s)://``, ``mailto:``) are skipped — CI must not
+depend on the network.  Fenced code blocks and inline code spans are
+stripped before scanning, so ``[i](x)`` indexing in examples is not a link.
+
+Exit status 0 when every link resolves, 1 otherwise (one diagnostic line
+per broken link: ``file:line: broken link 'target'``).
+
+Usage::
+
+    python tools/check_docs.py [repo-root]
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import List, Set, Tuple
+
+#: Markdown files and directories (relative to the repo root) to scan.
+DOC_ROOTS = ("README.md", "ROADMAP.md", "PAPER.md", "CHANGES.md", "docs")
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def _heading_slug(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return re.sub(r" ", "-", text)
+
+
+def _markdown_files(root: str) -> List[str]:
+    files: List[str] = []
+    for entry in DOC_ROOTS:
+        path = os.path.join(root, entry)
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for dirpath, _dirnames, filenames in os.walk(path):
+                files.extend(
+                    os.path.join(dirpath, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".md")
+                )
+    return files
+
+
+def _scannable_lines(path: str) -> List[Tuple[int, str]]:
+    """(line number, text) pairs with fenced blocks and code spans removed."""
+    lines: List[Tuple[int, str]] = []
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if _FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            lines.append((number, _CODE_SPAN_RE.sub("", line)))
+    return lines
+
+
+def _anchors_of(path: str) -> Set[str]:
+    anchors: Set[str] = set()
+    in_fence = False
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            if _FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            match = _HEADING_RE.match(line)
+            if match:
+                anchors.add(_heading_slug(match.group(1)))
+    return anchors
+
+
+def broken_links(root: str) -> List[str]:
+    """Every unresolvable relative link under ``root``, as diagnostics."""
+    problems: List[str] = []
+    for path in _markdown_files(root):
+        rel = os.path.relpath(path, root)
+        for number, text in _scannable_lines(path):
+            for match in _LINK_RE.finditer(text):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL_PREFIXES):
+                    continue
+                raw_path, _, anchor = target.partition("#")
+                if not raw_path:
+                    if anchor and anchor not in _anchors_of(path):
+                        problems.append(
+                            f"{rel}:{number}: broken anchor '#{anchor}'"
+                        )
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), raw_path)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(f"{rel}:{number}: broken link '{target}'")
+                    continue
+                if anchor and resolved.endswith(".md"):
+                    if anchor not in _anchors_of(resolved):
+                        problems.append(
+                            f"{rel}:{number}: broken anchor '{target}'"
+                        )
+    return problems
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    problems = broken_links(root)
+    for problem in problems:
+        print(problem)
+    checked = len(_markdown_files(root))
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"docs OK: {checked} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
