@@ -57,6 +57,7 @@ from repro.strategy import (
     tofu,
 )
 from repro.errors import (
+    AnalysisError,
     ExecutionError,
     GraphError,
     NoStrategyError,
@@ -73,6 +74,7 @@ from repro.errors import (
 __version__ = "0.2.0"
 
 __all__ = [
+    "AnalysisError",
     "ClusterSpec",
     "CompiledModel",
     "ExecutionError",

@@ -1,0 +1,108 @@
+"""Cache-key completeness: every config knob must be classified.
+
+The plan and program caches key entries by content addresses built from an
+explicit subset of ``PlannerConfig``/``ExecutorConfig`` fields.  A field
+added to a config without touching the key scheme is the classic silent
+staleness bug: two semantically different configs collide on one cache
+entry.  The key schemes therefore declare, next to the key builders, which
+config fields they cover (``KEY_COVERED_CONFIG_FIELDS``) and which are
+deliberately non-semantic (``NON_SEMANTIC_CONFIG_FIELDS``); this checker
+fails any field the declarations do not classify — and any declaration
+naming a field that no longer exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+from repro.analysis.base import CheckContext, Finding
+
+__all__ = ["check_cache_key_completeness"]
+
+CHECK_NAME = "cache-key"
+
+
+def _classify(
+    config_type: type,
+    covered: Sequence[str],
+    non_semantic: Sequence[str],
+    key_builder: str,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    field_names = {field.name for field in dataclasses.fields(config_type)}
+    declared = set(covered) | set(non_semantic)
+    for name in sorted(field_names - declared):
+        findings.append(
+            Finding(
+                code="ANA012_CACHE_KEY_FIELD",
+                check=CHECK_NAME,
+                message=(
+                    f"{config_type.__name__}.{name} is neither covered by "
+                    f"{key_builder} nor declared non-semantic — classify it "
+                    f"in KEY_COVERED_CONFIG_FIELDS or "
+                    f"NON_SEMANTIC_CONFIG_FIELDS"
+                ),
+                node=f"{config_type.__name__}.{name}",
+            )
+        )
+    for name in sorted(declared - field_names):
+        findings.append(
+            Finding(
+                code="ANA012_CACHE_KEY_FIELD",
+                check=CHECK_NAME,
+                message=(
+                    f"the {key_builder} declarations name "
+                    f"{config_type.__name__}.{name}, which is not a config "
+                    f"field (stale declaration)"
+                ),
+                node=f"{config_type.__name__}.{name}",
+            )
+        )
+    overlap = sorted(set(covered) & set(non_semantic))
+    for name in overlap:
+        findings.append(
+            Finding(
+                code="ANA012_CACHE_KEY_FIELD",
+                check=CHECK_NAME,
+                message=(
+                    f"{config_type.__name__}.{name} is declared both "
+                    f"key-covered and non-semantic for {key_builder}"
+                ),
+                node=f"{config_type.__name__}.{name}",
+            )
+        )
+    return findings
+
+
+def check_cache_key_completeness(context: CheckContext) -> List[Finding]:
+    """Verify every Planner/Executor config field is key-classified.
+
+    Emits ``ANA012_CACHE_KEY_FIELD`` for config fields neither covered by
+    the respective cache-key builder nor declared non-semantic, for
+    declarations naming fields that no longer exist, and for fields
+    declared both ways.  The context may substitute the config classes
+    (``executor_config_type`` / ``planner_config_type``) — the seeded
+    mutation corpus does — but the check always runs, so it needs no
+    program or plan.
+    """
+    from repro.planner import cache as plan_cache
+    from repro.planner.core import PlannerConfig
+    from repro.runtime import cache as program_cache
+    from repro.runtime.core import ExecutorConfig
+
+    findings = _classify(
+        context.executor_config_type or ExecutorConfig,
+        program_cache.KEY_COVERED_CONFIG_FIELDS,
+        program_cache.NON_SEMANTIC_CONFIG_FIELDS,
+        "lowered_cache_key",
+    )
+    findings.extend(
+        _classify(
+            context.planner_config_type or PlannerConfig,
+            plan_cache.KEY_COVERED_CONFIG_FIELDS,
+            plan_cache.NON_SEMANTIC_CONFIG_FIELDS,
+            "plan_cache_key",
+        )
+    )
+    return findings

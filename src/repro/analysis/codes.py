@@ -1,0 +1,79 @@
+"""The stable error-code catalogue of the static verifier.
+
+Every finding a checker can produce carries exactly one code from this
+table.  Codes are stable identifiers — greppable in logs, referenced from
+``docs/verifier.md``, and asserted by the seeded-mutation tests — so they
+are never renumbered or reused; retired codes are removed, new checks get
+new numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["ERROR_CODES", "describe_code"]
+
+#: code -> one-line description, mirrored in docs/verifier.md.
+ERROR_CODES: Dict[str, str] = {
+    "ANA000_ANALYSIS": "generic analysis failure (bad verify mode, driver errors)",
+    "ANA001_SHARD_TILING": (
+        "a partition step splits a tensor dimension that is out of range "
+        "(the split drops — a gap) or into more parts than the dimension "
+        "has elements (whole shards of overlap)"
+    ),
+    "ANA002_WORKER_MISMATCH": (
+        "the product of the plan's per-step parts does not equal the plan's "
+        "declared worker count"
+    ),
+    "ANA003_CYCLIC_SCHEDULE": (
+        "the task graph's deps + after edges contain a cycle, so no "
+        "execution order exists"
+    ),
+    "ANA004_DANGLING_DEP": (
+        "a task depends on (or is ordered after) a task name that is not in "
+        "the program"
+    ),
+    "ANA005_SLOT_MULTIPLICITY": (
+        "a pipeline stage's slot order does not run every (phase, "
+        "micro-batch) slot exactly once"
+    ),
+    "ANA006_SCHEDULE_DEADLOCK": (
+        "the pipeline slot order conflicts with micro-batch data "
+        "dependencies — the schedule deadlocks"
+    ),
+    "ANA007_BAD_LINK": (
+        "a comm task's channel or link does not match what the topology's "
+        "link_between resolves for its endpoints"
+    ),
+    "ANA008_SELF_TRANSFER": (
+        "a link-resolved comm task transfers from a device to itself"
+    ),
+    "ANA009_DEVICE_RANGE": (
+        "a task or memory-report entry names a device index outside the "
+        "machine model"
+    ),
+    "ANA010_MEMORY_COVERAGE": (
+        "the per-device memory report misses a device that runs compute "
+        "tasks, or carries a negative budget"
+    ),
+    "ANA011_MEMORY_MISMATCH": (
+        "the declared per-device/per-stage peak memory is not reproducible "
+        "from the program's graph and plan"
+    ),
+    "ANA012_CACHE_KEY_FIELD": (
+        "an ExecutorConfig/PlannerConfig field is neither covered by the "
+        "cache key nor declared non-semantic"
+    ),
+    "ANA013_BAD_VERIFY_MODE": (
+        "ExecutorConfig.verify is not one of off | warn | strict"
+    ),
+    "ANA014_UNKNOWN_ARTIFACT": (
+        "tofu-repro verify's argument is neither a saved-model file nor a "
+        "cached program key"
+    ),
+}
+
+
+def describe_code(code: str) -> str:
+    """One-line description of a verifier error code (empty when unknown)."""
+    return ERROR_CODES.get(code, "")

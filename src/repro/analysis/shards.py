@@ -1,0 +1,106 @@
+"""Shard-tiling conservation: shards must cover each tensor exactly.
+
+The plan's per-step splits induce a grid partition of every tensor
+(Sec 5.2).  ``split_dim`` rounds uneven splits *up* — the paper's convention
+for non-divisible dimensions, where the first workers take the larger
+shards — so mere unevenness is legal padding, not a violation.  The grid
+stops conserving the tensor when a split names a dimension past the
+tensor's rank (the split silently drops — a gap) or composes more parts
+than the dimension has elements (whole shards of overlap: some worker's
+shard carries no real data).  Splitting a size-*1* dimension is exempt —
+that is the planner's replication convention for scalars (every worker
+holds the whole value, e.g. the loss tensor of any training graph).
+Those are the states this checker flags, together with plans whose
+per-step parts do not multiply to the declared worker count.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.base import CheckContext, Finding
+
+__all__ = ["check_shard_conservation"]
+
+CHECK_NAME = "shard-conservation"
+
+
+def check_shard_conservation(context: CheckContext) -> List[Finding]:
+    """Verify the plan's shard grid tiles every tensor exactly.
+
+    Emits ``ANA002_WORKER_MISMATCH`` when the product of per-step parts
+    disagrees with the plan's declared worker count (or a step splits into
+    fewer than one part), and ``ANA001_SHARD_TILING`` when a split names an
+    out-of-range dimension or composes more parts than a dimension has
+    elements (a graph is required for the per-tensor half; it is skipped
+    without one).  Returns no findings when the context carries no plan.
+    """
+    plan = context.resolved_plan
+    if plan is None:
+        return []
+    findings: List[Finding] = []
+
+    product = 1
+    for index, step in enumerate(plan.steps):
+        if step.parts < 1:
+            findings.append(
+                Finding(
+                    code="ANA002_WORKER_MISMATCH",
+                    check=CHECK_NAME,
+                    message=(
+                        f"step {index} splits into {step.parts} part(s); "
+                        f"every step needs at least 1"
+                    ),
+                )
+            )
+        product *= step.parts
+    if plan.steps and product != plan.num_workers:
+        findings.append(
+            Finding(
+                code="ANA002_WORKER_MISMATCH",
+                check=CHECK_NAME,
+                message=(
+                    f"per-step parts multiply to {product} worker(s) but the "
+                    f"plan declares num_workers={plan.num_workers}"
+                ),
+            )
+        )
+
+    graph = context.graph
+    if graph is None:
+        return findings
+    for name, spec in graph.tensors.items():
+        shape = tuple(spec.shape)
+        grid = plan.tensor_grid(name)
+        if not grid:
+            continue
+        for dim, parts in grid:
+            if not 0 <= dim < len(shape):
+                findings.append(
+                    Finding(
+                        code="ANA001_SHARD_TILING",
+                        check=CHECK_NAME,
+                        message=(
+                            f"tensor {name!r} of shape {shape} is split "
+                            f"along dimension {dim}, which is out of range "
+                            f"— the split drops and leaves a coverage gap"
+                        ),
+                        node=name,
+                    )
+                )
+        counts = plan.partition_counts(name, len(shape))
+        for dim, count in enumerate(counts):
+            if shape[dim] > 1 and count > shape[dim]:
+                findings.append(
+                    Finding(
+                        code="ANA001_SHARD_TILING",
+                        check=CHECK_NAME,
+                        message=(
+                            f"tensor {name!r} dimension {dim} has extent "
+                            f"{shape[dim]} but is split {count} ways: shards "
+                            f"overlap and some workers hold no real data"
+                        ),
+                        node=name,
+                    )
+                )
+    return findings

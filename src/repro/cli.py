@@ -42,6 +42,15 @@ Examples::
         --output report.json
     tofu-repro replay --trace trace.json --fit table --save-model table.json
     tofu-repro compile --model mlp --cost-model table.json --workers 8
+    tofu-repro compile --model rnn --strategy pipeline:2:1f1b:4 --workers 4 \\
+        --save model.json
+    tofu-repro verify model.json
+    tofu-repro verify <cache-key> --program-cache-dir ~/.cache/tofu-programs
+
+``verify`` statically checks a saved compiled model (or a cached lowered
+program, addressed by its cache key) with the ``repro.analysis`` checkers
+and exits non-zero on findings; every finding and error carries a stable
+code (``ANA003_CYCLIC_SCHEDULE`` style — see ``docs/verifier.md``).
 
 ``replay`` scores cost models against a measured trace (per-op-class
 MAPE/p50/p95 — see ``docs/trace-schema.md``) and can fit + save a calibrated
@@ -440,6 +449,7 @@ def cmd_serve(args) -> int:
         expand_jobs=args.expand_jobs,
         plan_cache_dir=args.cache_dir,
         program_cache_dir=args.program_cache_dir,
+        verify=args.verify,
     )
     server = CompileServer(service, host=args.host, port=args.port)
 
@@ -500,6 +510,43 @@ def cmd_replay(args) -> int:
         save_cost_model(fitted, args.save_model)
         print(f"saved {args.fit} model: {args.save_model}")
     return 0
+
+
+def cmd_verify(args) -> int:
+    import os
+
+    from repro.analysis import verify_model, verify_program
+    from repro.compiler import CompiledModel
+    from repro.errors import AnalysisError
+
+    artifact = args.artifact
+    if os.path.exists(artifact):
+        model = CompiledModel.load(artifact)
+        report = verify_model(model)
+        what = f"saved model {artifact}"
+    else:
+        cache = ProgramCache(cache_dir=args.program_cache_dir)
+        program = cache.get(artifact)
+        if program is None:
+            hint = (
+                ""
+                if args.program_cache_dir
+                else " (pass --program-cache-dir to search an on-disk store)"
+            )
+            raise AnalysisError(
+                f"{artifact!r} is neither a saved-model file nor a cached "
+                f"program key{hint}",
+                code="ANA014_UNKNOWN_ARTIFACT",
+            )
+        report = verify_program(program)
+        what = f"cached program {artifact}"
+    print(
+        f"{what}: {len(report.checks_run)} check(s), "
+        f"{len(report.findings)} finding(s)"
+    )
+    for finding in report.findings:
+        print(f"  {finding}", file=sys.stderr)
+    return 0 if report.ok else 1
 
 
 def cmd_coverage(args) -> int:
@@ -670,6 +717,21 @@ def main(argv=None) -> int:
     p_coverage = sub.add_parser("coverage", help="TDL operator coverage statistics")
     p_coverage.set_defaults(func=cmd_coverage)
 
+    p_verify = sub.add_parser(
+        "verify",
+        help="statically verify a saved model file or cached program key",
+    )
+    p_verify.add_argument(
+        "artifact",
+        help="path of a --save'd compiled model, or a program-cache key",
+    )
+    p_verify.add_argument(
+        "--program-cache-dir",
+        default=None,
+        help="on-disk program store to resolve cache keys against",
+    )
+    p_verify.set_defaults(func=cmd_verify)
+
     p_replay = sub.add_parser(
         "replay",
         help="score cost models against a measured trace (per-op-class "
@@ -734,13 +796,22 @@ def main(argv=None) -> int:
         default=None,
         help="persistent lowered-program store",
     )
+    p_serve.add_argument(
+        "--verify",
+        choices=["off", "warn", "strict"],
+        default="strict",
+        help="static verification of every served program (default strict: "
+        "a failing program becomes an error response, never a cache entry)",
+    )
     p_serve.set_defaults(func=cmd_serve)
 
     args = parser.parse_args(argv)
     try:
         return args.func(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        code = getattr(exc, "code", None)
+        prefix = f"[{code}] " if code else ""
+        print(f"error: {prefix}{exc}", file=sys.stderr)
         return 1
 
 

@@ -47,7 +47,19 @@ class NoStrategyError(PartitionError):
 
 
 class SimulationError(ReproError):
-    """Raised for malformed simulator inputs."""
+    """Raised for malformed simulator inputs.
+
+    :attr:`code` is a stable, greppable identifier (``SIM000_SIMULATION``
+    unless a more specific subclass or raise site narrows it); the CLI
+    surfaces it as ``error: [CODE] message``.
+    """
+
+    code: str = "SIM000_SIMULATION"
+
+    def __init__(self, message: str, *, code: "str | None" = None):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
 
 
 class ExecutionError(ReproError):
@@ -71,8 +83,12 @@ class TraceError(CostModelError):
 
     The message names the offending record (``record #i (name='...')``) so a
     bad trace is debuggable from the error alone; :attr:`index` and
-    :attr:`record_name` carry the same information structurally.
+    :attr:`record_name` carry the same information structurally.  The stable
+    :attr:`code` is ``TRC002_BAD_RECORD`` when a specific record is at fault
+    and ``TRC001_BAD_TRACE`` for file-level problems.
     """
+
+    code: str = "TRC001_BAD_TRACE"
 
     def __init__(
         self,
@@ -80,14 +96,50 @@ class TraceError(CostModelError):
         *,
         index: "int | None" = None,
         record_name: "str | None" = None,
+        code: "str | None" = None,
     ):
         super().__init__(message)
         self.index = index
         self.record_name = record_name
+        if code is not None:
+            self.code = code
+        elif index is not None:
+            self.code = "TRC002_BAD_RECORD"
+
+
+class AnalysisError(ReproError):
+    """Raised by :mod:`repro.analysis` when a static check fails in strict mode.
+
+    Carries the finding structurally so callers need not parse the message:
+    :attr:`code` is the stable check code (``ANA003_CYCLIC_SCHEDULE``-style,
+    see ``docs/verifier.md``), :attr:`check` the registry name of the checker
+    that fired, and :attr:`task` / :attr:`node` the offending task or graph
+    node when one can be named.
+    """
+
+    code: str = "ANA000_ANALYSIS"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: "str | None" = None,
+        check: "str | None" = None,
+        task: "str | None" = None,
+        node: "str | None" = None,
+    ):
+        super().__init__(message)
+        if code is not None:
+            self.code = code
+        self.check = check
+        self.task = task
+        self.node = node
 
 
 class OutOfMemoryError(SimulationError):
     """Raised (or recorded) when a simulated device exceeds its memory capacity."""
+
+    code = "SIM001_OUT_OF_MEMORY"
 
     def __init__(self, device: str, required: int, capacity: int):
         super().__init__(

@@ -34,12 +34,38 @@ from repro.partition.plan import PartitionPlan, plan_from_dict, plan_to_dict
 from repro.sim.device import Topology
 
 __all__ = [
+    "KEY_COVERED_CONFIG_FIELDS",
+    "NON_SEMANTIC_CONFIG_FIELDS",
     "NON_SEMANTIC_OPTIONS",
     "PlanCache",
     "graph_signature",
     "machine_signature",
     "plan_cache_key",
 ]
+
+#: PlannerConfig fields whose values feed :func:`plan_cache_key` (the
+#: ``backend``/``options``/``explore_factor_orders``/``cost_model`` payload
+#: entries).  Together with NON_SEMANTIC_CONFIG_FIELDS this must classify
+#: *every* config field — the ``cache-key`` checker (repro.analysis) fails
+#: the build otherwise, so a new semantic knob cannot silently poison warm
+#: cache entries.
+KEY_COVERED_CONFIG_FIELDS = (
+    "backend",
+    "backend_options",
+    "explore_factor_orders",
+    "cost_model",
+)
+
+#: PlannerConfig fields that deliberately do NOT contribute to plan cache
+#: keys: parallelism and cache plumbing that never change which plan a
+#: search returns (parallel expansion is pinned bit-identical to serial).
+NON_SEMANTIC_CONFIG_FIELDS = (
+    "jobs",
+    "expand_jobs",
+    "cache_capacity",
+    "cache_dir",
+    "cache_max_bytes",
+)
 
 #: Backend options that change only how fast a search runs, never which plan
 #: it returns (parallel expansion is pinned bit-identical to serial).  They

@@ -41,10 +41,31 @@ from repro.runtime.program import (
 from repro.sim.device import Topology
 
 __all__ = [
+    "KEY_COVERED_CONFIG_FIELDS",
+    "NON_SEMANTIC_CONFIG_FIELDS",
     "ProgramCache",
     "default_program_cache",
     "lowered_cache_key",
 ]
+
+#: ExecutorConfig fields whose values feed :func:`lowered_cache_key` (the
+#: key's ``backend``/``options``/``cost_model`` payload entries).  Together
+#: with NON_SEMANTIC_CONFIG_FIELDS this must classify *every* config field —
+#: the ``cache-key`` checker (repro.analysis) fails the build otherwise, so
+#: a new semantic knob cannot silently poison warm cache entries.
+KEY_COVERED_CONFIG_FIELDS = ("backend", "backend_options", "cost_model")
+
+#: ExecutorConfig fields that deliberately do NOT contribute to program
+#: cache keys: cache plumbing and observability knobs that never change
+#: what a lowering produces.
+NON_SEMANTIC_CONFIG_FIELDS = (
+    "cache_programs",
+    "program_cache_dir",
+    "program_cache_capacity",
+    "program_cache_max_bytes",
+    "profile",
+    "verify",
+)
 
 
 def lowered_cache_key(

@@ -65,6 +65,13 @@ class ExecutorConfig:
             ``repro.costmodel.use_cost_model``); a non-default model wins
             over the context and folds its signature into program-cache
             keys.
+        verify: Static verification of freshly lowered programs
+            (:mod:`repro.analysis`): ``"off"`` (the default) runs nothing,
+            ``"warn"`` emits a ``UserWarning`` per report, ``"strict"``
+            raises a structured :class:`repro.errors.AnalysisError`.  The
+            pass runs after lowering and before the program is cached;
+            program-cache hits skip it entirely.  Non-semantic for cache
+            keys.
     """
 
     backend: str = "tofu-partitioned"
@@ -75,6 +82,7 @@ class ExecutorConfig:
     program_cache_max_bytes: Optional[int] = None
     profile: bool = False
     cost_model: object = "roofline"
+    verify: str = "off"
 
 
 @dataclass
@@ -168,6 +176,11 @@ class Executor:
 
     def __init__(self, config: Optional[ExecutorConfig] = None):
         self.config = config or ExecutorConfig()
+        if self.config.verify != "off":
+            # Lazy: repro.analysis sits above the runtime in the layering.
+            from repro.analysis.verify import validate_verify_mode
+
+            validate_verify_mode(self.config.verify)
         #: Populated when ``config.profile`` is set; every ``lower``,
         #: ``simulate``, and ``run`` on this executor accumulates into it.
         self.profile_timer = perf.StageTimer() if self.config.profile else None
@@ -225,6 +238,8 @@ class Executor:
             ExecutionError: For an unknown backend, invalid options, or a
                 plan-requiring backend invoked without a plan.
             CostModelError: When ``config.cost_model`` cannot be resolved.
+            AnalysisError: Under ``config.verify="strict"`` when a freshly
+                lowered program fails a static check.
         """
         from repro.costmodel import (
             active_cost_model,
@@ -277,6 +292,19 @@ class Executor:
                 program.machine = machine
             if program.cost_model is None:
                 program.cost_model = token
+            if self.config.verify != "off":
+                # Verify before the cache put so strict mode never caches
+                # (or serves) a program that fails its invariants; cache
+                # hits above return early, so warm paths never pay this.
+                from repro.analysis.verify import run_verify_pass
+
+                run_verify_pass(
+                    program,
+                    graph=graph,
+                    machine=machine,
+                    plan=plan,
+                    mode=self.config.verify,
+                )
             if key is not None:
                 try:
                     self.program_cache.put(key, program)

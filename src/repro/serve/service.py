@@ -80,6 +80,12 @@ class CompileService:
             cache (optionally rooted at ``plan_cache_dir``).
         plan_cache_dir / program_cache_dir: Optional persistent stores, so
             a restarted server comes back warm.
+        verify: Static-verification mode for every compile this service
+            runs (``ExecutorConfig.verify``).  Defaults to ``"strict"`` —
+            a served program is verified *before* it is cached or returned,
+            and a failing one becomes a structured error response instead
+            of poisoning the shared caches.  Program-cache hits skip the
+            pass, so the warm tier is unaffected.
     """
 
     def __init__(
@@ -90,7 +96,11 @@ class CompileService:
         planner: Optional[Planner] = None,
         plan_cache_dir: Optional[str] = None,
         program_cache_dir: Optional[str] = None,
+        verify: str = "strict",
     ):
+        from repro.analysis.verify import validate_verify_mode
+
+        self.verify = validate_verify_mode(verify)
         self.planner = planner or Planner(
             PlannerConfig(expand_jobs=expand_jobs, cache_dir=plan_cache_dir)
         )
@@ -176,7 +186,7 @@ class CompileService:
     # --------------------------------------------------------------- compile
     def _compile(self, request: CompileRequest, key: str) -> CompileResponse:
         start = time.perf_counter()
-        executor = Executor(ExecutorConfig(profile=True))
+        executor = Executor(ExecutorConfig(profile=True, verify=self.verify))
         # Swap the fresh executor's private cache for the service-wide one;
         # profiling stays per-request, the warm tier stays shared.
         executor.program_cache = self.program_cache

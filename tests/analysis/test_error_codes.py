@@ -1,0 +1,76 @@
+"""Stable error codes on the library's exception types.
+
+Every structured failure carries a machine-readable ``code`` so callers
+(and the CLI, which prefixes ``error: [CODE] ...``) can branch on the
+failure class without parsing prose.  These tests pin the default codes
+and the code-override paths.
+"""
+
+import pytest
+
+from repro.analysis import ERROR_CODES
+from repro.errors import (
+    AnalysisError,
+    OutOfMemoryError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestDefaultCodes:
+    def test_simulation_error(self):
+        assert SimulationError("boom").code == "SIM000_SIMULATION"
+
+    def test_out_of_memory_error(self):
+        error = OutOfMemoryError(1, 4, 2)
+        assert error.code == "SIM001_OUT_OF_MEMORY"
+        assert isinstance(error, SimulationError)
+
+    def test_trace_error_defaults(self):
+        assert TraceError("bad file").code == "TRC001_BAD_TRACE"
+
+    def test_trace_error_record_index(self):
+        error = TraceError("bad record", index=3)
+        assert error.code == "TRC002_BAD_RECORD"
+
+    def test_analysis_error_default_and_override(self):
+        assert AnalysisError("x").code == "ANA000_ANALYSIS"
+        coded = AnalysisError(
+            "cycle", code="ANA003_CYCLIC_SCHEDULE",
+            check="schedule-soundness", task="t#mb0",
+        )
+        assert coded.code == "ANA003_CYCLIC_SCHEDULE"
+        assert coded.check == "schedule-soundness"
+        assert coded.task == "t#mb0"
+
+    def test_explicit_code_wins_over_index(self):
+        error = TraceError("weird", index=1, code="TRC001_BAD_TRACE")
+        assert error.code == "TRC001_BAD_TRACE"
+
+
+class TestCatalogue:
+    def test_analysis_codes_catalogued_with_descriptions(self):
+        assert len(ERROR_CODES) >= 15
+        for code, description in ERROR_CODES.items():
+            assert description.strip(), f"{code} has no description"
+
+    def test_cli_prefixes_coded_errors(self, capsys):
+        from repro.cli import main
+
+        rc = main(["verify", "definitely-not-an-artifact"])
+        _, err = capsys.readouterr()
+        assert rc == 1
+        assert err.startswith("error: [ANA014_UNKNOWN_ARTIFACT]")
+
+    def test_cli_uncoded_errors_keep_plain_prefix(self, capsys):
+        from repro.cli import main
+
+        # An unparseable strategy raises StrategyError, which has no code.
+        rc = main([
+            "compile", "--model", "mlp", "--batch", "8", "--hidden", "32",
+            "--layers", "2", "--workers", "2", "--strategy", "bogus:::",
+            "--dry-run",
+        ])
+        _, err = capsys.readouterr()
+        assert rc == 1
+        assert err.startswith("error: ") and "[" not in err.splitlines()[0]

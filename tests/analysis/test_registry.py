@@ -1,0 +1,88 @@
+"""Checker registry: built-ins present, registration hygiene, error codes."""
+
+import pytest
+
+from repro.analysis import (
+    ERROR_CODES,
+    AnalysisError,
+    CheckContext,
+    CheckerSpec,
+    available_checkers,
+    describe_code,
+    get_checker_spec,
+    register_checker,
+    unregister_checker,
+)
+
+BUILTIN_CHECKERS = {
+    "shard-conservation",
+    "schedule-soundness",
+    "comm-validity",
+    "memory-plan",
+    "cache-key",
+}
+
+
+class TestBuiltins:
+    def test_all_builtin_checkers_registered(self):
+        assert BUILTIN_CHECKERS <= set(available_checkers())
+
+    def test_every_checker_is_described(self):
+        for name in available_checkers():
+            spec = get_checker_spec(name)
+            assert spec.description.strip(), f"{name} has no description"
+
+    def test_declared_codes_are_catalogued(self):
+        for name in BUILTIN_CHECKERS:
+            spec = get_checker_spec(name)
+            assert spec.codes, f"{name} declares no codes"
+            for code in spec.codes:
+                assert code in ERROR_CODES, f"{name} declares unknown {code}"
+
+    def test_checkers_run_on_an_empty_context(self):
+        # The degrade-gracefully contract: no artifact, no findings, no raise.
+        context = CheckContext()
+        for name in BUILTIN_CHECKERS:
+            assert get_checker_spec(name).check(context) == []
+
+
+class TestRegistration:
+    def test_register_unregister_round_trip(self):
+        spec = CheckerSpec(
+            name="temp-check", check=lambda context: [],
+            description="temporary test checker",
+        )
+        register_checker(spec)
+        try:
+            assert "temp-check" in available_checkers()
+            assert get_checker_spec("temp-check") is spec
+        finally:
+            unregister_checker("temp-check")
+        assert "temp-check" not in available_checkers()
+
+    def test_duplicate_registration_raises(self):
+        spec = CheckerSpec(
+            name="temp-dup", check=lambda context: [],
+            description="temporary test checker",
+        )
+        register_checker(spec)
+        try:
+            with pytest.raises(AnalysisError):
+                register_checker(spec)
+        finally:
+            unregister_checker("temp-dup")
+
+    def test_unknown_checker_raises(self):
+        with pytest.raises(AnalysisError):
+            get_checker_spec("no-such-checker")
+
+
+class TestCodes:
+    def test_describe_code(self):
+        assert describe_code("ANA003_CYCLIC_SCHEDULE")
+        assert describe_code("nonsense") == ""
+
+    def test_code_naming_convention(self):
+        for code in ERROR_CODES:
+            prefix = code.split("_", 1)[0]
+            assert prefix.startswith("ANA") and prefix[3:].isdigit(), code

@@ -1,0 +1,136 @@
+"""Wiring of the verify pass: cold runs verify, cache hits skip, strict
+raises, warn warns, off does nothing, and the compile service turns a
+failing program into a structured error response (never a cache entry)."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    CheckerSpec,
+    Finding,
+    register_checker,
+    unregister_checker,
+    validate_verify_mode,
+)
+from repro.models.mlp import build_mlp
+from repro.runtime import Executor, ExecutorConfig, ProgramCache
+from repro.serve import CompileRequest, CompileService
+from repro.sim.device import k80_8gpu_machine
+
+
+def _fresh(executor):
+    """Swap in a private program cache — the process-wide default cache is
+    shared across tests, which would pollute hit counters here."""
+    executor.program_cache = ProgramCache()
+    return executor
+
+
+@pytest.fixture
+def bundle():
+    return build_mlp(batch_size=8, input_dim=32, hidden_dim=32,
+                     num_layers=2, num_classes=8)
+
+
+@pytest.fixture
+def spy():
+    """A registered checker that records each invocation, cleaned up after."""
+    calls = []
+
+    def check(context):
+        calls.append(context)
+        return []
+
+    register_checker(CheckerSpec(
+        name="test-spy", check=check, description="records invocations"))
+    yield calls
+    unregister_checker("test-spy")
+
+
+@pytest.fixture
+def always_fail():
+    def check(context):
+        return [Finding(code="ANA000_ANALYSIS", check="test-always-fail",
+                        message="seeded failure")]
+
+    register_checker(CheckerSpec(
+        name="test-always-fail", check=check,
+        description="always reports one finding"))
+    yield
+    unregister_checker("test-always-fail")
+
+
+class TestExecutorWiring:
+    def test_cold_lower_verifies_and_cache_hit_skips(self, bundle, spy):
+        machine = k80_8gpu_machine(2)
+        executor = _fresh(Executor(ExecutorConfig(verify="strict", profile=True)))
+        executor.lower(bundle.graph, machine=machine, backend="single-device")
+        assert len(spy) == 1  # cold path ran the pass
+        timer = executor.profile_timer
+        assert "pass.verify" in timer.snapshot().get("stages", timer.snapshot())
+
+        executor.lower(bundle.graph, machine=machine, backend="single-device")
+        assert len(spy) == 1  # program-cache hit skipped it
+
+    def test_verify_off_never_runs_checkers(self, bundle, spy):
+        executor = Executor(ExecutorConfig(verify="off", cache_programs=False))
+        executor.lower(bundle.graph, machine=k80_8gpu_machine(2),
+                       backend="single-device")
+        assert spy == []
+
+    def test_strict_raises_structured_error(self, bundle, always_fail):
+        executor = Executor(
+            ExecutorConfig(verify="strict", cache_programs=False))
+        with pytest.raises(AnalysisError) as excinfo:
+            executor.lower(bundle.graph, machine=k80_8gpu_machine(2),
+                           backend="single-device")
+        assert excinfo.value.code == "ANA000_ANALYSIS"
+        assert excinfo.value.check == "test-always-fail"
+
+    def test_strict_failure_is_not_cached(self, bundle, always_fail):
+        executor = _fresh(Executor(ExecutorConfig(verify="strict")))
+        for _ in range(2):  # a failing program must never become a hit
+            with pytest.raises(AnalysisError):
+                executor.lower(bundle.graph, machine=k80_8gpu_machine(2),
+                               backend="single-device")
+        assert executor.program_cache.hits == 0
+
+    def test_warn_mode_warns_and_returns(self, bundle, always_fail):
+        executor = Executor(ExecutorConfig(verify="warn", cache_programs=False))
+        with pytest.warns(UserWarning, match="seeded failure"):
+            program = executor.lower(bundle.graph,
+                                     machine=k80_8gpu_machine(2),
+                                     backend="single-device")
+        assert program.tasks
+
+    def test_bad_verify_mode_rejected_at_construction(self):
+        with pytest.raises(AnalysisError) as excinfo:
+            Executor(ExecutorConfig(verify="nope"))
+        assert excinfo.value.code == "ANA013_BAD_VERIFY_MODE"
+        with pytest.raises(AnalysisError):
+            validate_verify_mode("loud")
+
+
+class TestServiceWiring:
+    def test_failing_program_becomes_error_response(self, bundle, always_fail):
+        # simulate=True: with simulate=False compile stops after planning
+        # and never lowers, so there is no program for the pass to reject.
+        with CompileService(workers=1) as service:
+            response = service.compile(CompileRequest(
+                graph=bundle.graph, strategy="single", num_workers=2,
+            ))
+            assert response.status == "error"
+            assert "AnalysisError" in response.error
+            assert "ANA000_ANALYSIS" in response.error
+            # The rejected program must not have been cached for serving.
+            assert len(service.program_cache) == 0
+
+    def test_service_verify_off_serves_anyway(self, bundle, always_fail):
+        with CompileService(workers=1, verify="off") as service:
+            response = service.compile(CompileRequest(
+                graph=bundle.graph, strategy="single", num_workers=2,
+            ))
+        assert response.status == "ok"
+
+    def test_service_rejects_bad_mode(self):
+        with pytest.raises(AnalysisError):
+            CompileService(workers=1, verify="sideways")

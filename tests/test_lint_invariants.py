@@ -1,0 +1,82 @@
+"""The AST invariant linter stays clean on the tree and keeps catching
+seeded violations (layering back-edges, unlocked guarded state, undescribed
+registry entries)."""
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import lint_invariants  # noqa: E402
+
+
+def test_repository_is_invariant_clean():
+    violations = lint_invariants.lint()
+    assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_layering_catches_back_edge():
+    tree = ast.parse("from repro.serve.service import CompileService\n")
+    violations = lint_invariants.check_layering(
+        lint_invariants.SRC / "graph" / "graph.py", tree)
+    assert violations and violations[0].rule == "layering"
+
+
+def test_layering_exempts_type_checking_imports():
+    tree = ast.parse(
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from repro.serve.service import CompileService\n"
+    )
+    assert lint_invariants.check_layering(
+        lint_invariants.SRC / "graph" / "graph.py", tree) == []
+
+
+def test_lock_discipline_catches_unlocked_read():
+    tree = ast.parse(
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.count = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self.count += 1\n"
+        "    def peek(self):\n"
+        "        return self.count\n"
+    )
+    violations = lint_invariants.check_lock_discipline(
+        lint_invariants.SRC / "caching.py", tree)
+    assert violations and violations[0].rule == "lock-discipline"
+    assert "peek" in violations[0].message
+
+
+def test_lock_discipline_allows_lock_safe_helpers():
+    tree = ast.parse(
+        "import threading\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.count = 0\n"
+        "    def bump(self):\n"
+        "        with self._lock:\n"
+        "            self._bump_locked()\n"
+        "    def _bump_locked(self):\n"
+        "        self.count += 1\n"
+    )
+    assert lint_invariants.check_lock_discipline(
+        lint_invariants.SRC / "caching.py", tree) == []
+
+
+def test_registry_hygiene_requires_descriptions():
+    tree = ast.parse(
+        "register_checker(CheckerSpec(name='x', check=f))\n"
+        "register_checker(CheckerSpec(name='y', check=f, description=''))\n"
+        "register_checker(CheckerSpec(name='z', check=f, description='ok'))\n"
+    )
+    violations = lint_invariants.check_registry_hygiene(
+        lint_invariants.SRC / "analysis" / "verify.py", tree)
+    assert len(violations) == 2
+    assert all(v.rule == "registry-hygiene" for v in violations)

@@ -2,8 +2,8 @@
 
 Accidentally dropping (or silently adding) a public name is an API break for
 downstream users; this test pins the ``__all__`` of ``repro``,
-``repro.strategy``, ``repro.planner``, ``repro.runtime``, ``repro.serve``
-and ``repro.costmodel`` against a checked-in list so CI fails on any
+``repro.strategy``, ``repro.planner``, ``repro.runtime``, ``repro.serve``,
+``repro.costmodel`` and ``repro.analysis`` against a checked-in list so CI fails on any
 unreviewed change.  When a change is intentional, update the snapshot here
 *and* the README migration notes.
 
@@ -18,6 +18,7 @@ import inspect
 import pytest
 
 REPRO_EXPORTS = [
+    "AnalysisError",
     "ClusterSpec",
     "CompiledModel",
     "ExecutionError",
@@ -137,6 +138,26 @@ SERVE_EXPORTS = [
     "response_to_wire",
 ]
 
+ANALYSIS_EXPORTS = [
+    "AnalysisError",
+    "CheckContext",
+    "CheckerSpec",
+    "ERROR_CODES",
+    "Finding",
+    "VERIFY_MODES",
+    "VerifyReport",
+    "available_checkers",
+    "describe_code",
+    "get_checker_spec",
+    "load_entry_point_checkers",
+    "register_checker",
+    "run_verify_pass",
+    "unregister_checker",
+    "validate_verify_mode",
+    "verify_model",
+    "verify_program",
+]
+
 COSTMODEL_EXPORTS = [
     "CostModel",
     "CostModelError",
@@ -180,6 +201,7 @@ SNAPSHOTS = {
     "repro.runtime": RUNTIME_EXPORTS,
     "repro.serve": SERVE_EXPORTS,
     "repro.costmodel": COSTMODEL_EXPORTS,
+    "repro.analysis": ANALYSIS_EXPORTS,
 }
 
 
