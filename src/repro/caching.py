@@ -175,6 +175,39 @@ class TwoTierCache:
             self._memory_put(key, payload)
             self._disk_put(key, payload)
 
+    def snapshot_payloads(self) -> Dict[str, Dict]:
+        """A copy of every in-memory entry (``key -> payload``).
+
+        This is the in-process counterpart of :meth:`export_to`: a pool
+        worker snapshots the entries its searches produced and ships them
+        back to the parent, which folds them in with
+        :meth:`merge_payloads` — no disk tier required on either side.
+        Lookup counters are untouched.
+        """
+        with self._lock:
+            return dict(self._memory)
+
+    def merge_payloads(self, payloads: Dict[str, Dict]) -> int:
+        """Fold ``key -> payload`` entries into the store; returns how many
+        were new.
+
+        Content addresses make key collisions equal-payload collisions, so
+        entries already present are skipped rather than overwritten (the
+        same policy as :meth:`import_from`).  New entries land in both
+        tiers.
+        """
+        merged = 0
+        with self._lock:
+            for key, payload in payloads.items():
+                if key in self._memory:
+                    continue
+                if self._disk_get(key) is not None:
+                    continue
+                self._memory_put(key, payload)
+                self._disk_put(key, payload)
+                merged += 1
+        return merged
+
     # --------------------------------------------------------- export/import
     def export_to(self, path: str) -> int:
         """Bundle every on-disk entry into one JSON file at ``path``.

@@ -22,6 +22,9 @@ Examples::
     tofu-repro compile --model rnn --strategy dp:2/pipeline:2:1f1b:4/tofu \\
         --workers 8
     tofu-repro compile --model mlp --strategy auto --workers 8
+    tofu-repro tune --model rnn --workers 8 --max-candidates 24 --jobs 4
+    tofu-repro tune --model rnn --preset p2_8xlarge_x4 --max-seconds 30 \\
+        --profile
     tofu-repro compile --model mlp --strategy dp:2/tofu --dry-run
     tofu-repro partition --model wresnet --depth 50 --widen 4 --batch 32 --workers 8
     tofu-repro partition --model mlp --backend spartan --workers 8
@@ -377,6 +380,58 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _csv(text: str) -> list:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def cmd_tune(args) -> int:
+    from repro.tuner import Tuner, TunerBudget
+
+    bundle = _build_model(args)
+    machine = _build_topology(args)
+    if machine.num_machines > 1:
+        print(
+            f"topology: {machine.num_machines} machines, "
+            f"{machine.num_devices} devices"
+        )
+    print(f"model: {bundle.name} ({bundle.graph.num_nodes()} operators)")
+    budget = TunerBudget(
+        max_candidates=args.max_candidates, max_seconds=args.max_seconds
+    )
+    tuner = Tuner(
+        budget=budget,
+        jobs=args.jobs,
+        microbatches=tuple(int(m) for m in _csv(args.microbatches)),
+        schedules=tuple(_csv(args.schedules)),
+        search_backends=tuple(_csv(args.search_backends)),
+    )
+    executor = Executor(ExecutorConfig(profile=args.profile))
+    planner = Planner(
+        PlannerConfig(backend=args.backend, cache_dir=args.cache_dir)
+    )
+    with _cost_model_context(args):
+        result = tuner.tune(
+            bundle.graph, machine, planner=planner, executor=executor
+        )
+    print(result.summary())
+    rejected = [o for o in result.outcomes if o.status in ("screened", "error")]
+    if rejected:
+        print("rejected candidates:")
+        for outcome in rejected:
+            print(f"  {outcome.strategy:<36} {outcome.status}: {outcome.reason}")
+    best = result.best
+    print(
+        f"throughput: {best.throughput(bundle.batch_size):.1f} samples/s "
+        f"({best.strategy})"
+    )
+    if args.save:
+        best.save(args.save)
+        print(f"saved: {args.save}")
+    if executor.profile_timer is not None:
+        print(executor.profile_timer.summary())
+    return 0
+
+
 def _open_store(kind: str, cache_dir: str):
     """The on-disk store of one cache kind (``plan`` or ``program``)."""
     if kind == "program":
@@ -605,6 +660,71 @@ def main(argv=None) -> int:
     )
     _add_cost_model_arg(p_compile)
     p_compile.set_defaults(func=cmd_compile)
+
+    p_tune = sub.add_parser(
+        "tune", help="autotune a strategy under an explicit search budget"
+    )
+    _add_model_args(p_tune)
+    p_tune.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="tofu",
+        help="partition-search backend for the candidates' tofu leaves",
+    )
+    p_tune.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the persistent plan cache (default: in-memory only)",
+    )
+    p_tune.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="process-pool width for candidate evaluation (1 = in-process)",
+    )
+    p_tune.add_argument(
+        "--max-candidates",
+        type=int,
+        default=None,
+        help="candidate budget: at most this many strategies are screened "
+        "and evaluated (default: the whole generated grid)",
+    )
+    p_tune.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget: candidates not started by the deadline are "
+        "reported as skipped",
+    )
+    p_tune.add_argument(
+        "--microbatches",
+        default="2,4,8",
+        help="comma-separated micro-batch counts for pipeline candidates",
+    )
+    p_tune.add_argument(
+        "--schedules",
+        default="1f1b,gpipe",
+        help="comma-separated pipeline schedules to sweep",
+    )
+    p_tune.add_argument(
+        "--search-backends",
+        default="",
+        help="comma-separated extra partition-search backends to sweep as "
+        "tofu:<name> candidates",
+    )
+    p_tune.add_argument(
+        "--save",
+        default=None,
+        help="write the winning compiled model to this path",
+    )
+    p_tune.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-stage timings (tuner.screen / tuner.search / "
+        "tuner.rank included) and cache counters",
+    )
+    _add_cost_model_arg(p_tune)
+    p_tune.set_defaults(func=cmd_tune)
 
     p_partition = sub.add_parser("partition", help="search a partition plan")
     _add_model_args(p_partition)

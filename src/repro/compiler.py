@@ -17,12 +17,13 @@ parameters to the ``pipeline`` backend, and a ``tofu`` leaf first runs the
 *full* strategy, so two hybrid/pipeline configurations never collide on one
 entry).
 
-``strategy="auto"`` sweeps a bounded set of composed strategies
-(:func:`repro.strategy.auto_candidates` — replica-group counts × stage
-counts × the tofu leaf, plus ``machines(M)`` scopes on a multi-machine
-:class:`repro.sim.device.ClusterSpec`) and keeps the best simulated
-iteration time; plain ``tofu()`` is always in the set, so ``auto`` is never
-slower than it.
+``strategy="auto"`` runs the budgeted autotuner (:mod:`repro.tuner`): a
+full-algebra candidate grid is screened for memory fit before any full
+simulation, survivors are simulated (optionally across a process pool), and
+the fastest viable candidate wins; plain ``tofu()`` always leads the grid,
+so ``auto`` is never slower than it.  Pass ``tuner=Tuner(...)`` to control
+the budget, pool width, and grid axes; the default keeps the historical
+16-candidate sweep size.
 """
 
 from __future__ import annotations
@@ -32,7 +33,7 @@ import os
 import tempfile
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro import perf
 from repro.errors import ExecutionError, PartitionError, StrategyError
@@ -48,8 +49,11 @@ from repro.sim.device import (
     machine_to_dict,
 )
 from repro.strategy.algebra import Machines, Strategy, parse
-from repro.strategy.auto import auto_candidates
 from repro.strategy.lowering import lower_strategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.planner.core import Planner
+    from repro.tuner import Tuner
 
 __all__ = ["CompiledModel", "compile", "compile_model"]
 
@@ -193,6 +197,8 @@ class CompiledModel:
         }
         if "auto_sweep" in self.metadata:
             payload["auto_sweep"] = self.metadata["auto_sweep"]
+        if "tuner" in self.metadata:
+            payload["tuner"] = self.metadata["tuner"]
         return payload
 
     @classmethod
@@ -208,6 +214,8 @@ class CompiledModel:
         metadata.update(payload.get("result") or {})
         if "auto_sweep" in payload:
             metadata["auto_sweep"] = payload["auto_sweep"]
+        if "tuner" in payload:
+            metadata["tuner"] = payload["tuner"]
         plan_payload = payload.get("plan")
         return cls(
             strategy=Strategy.from_dict(payload["strategy"]),
@@ -305,6 +313,7 @@ def compile(
     lower_only: bool = False,
     candidates: Optional[Sequence[Union[Strategy, str]]] = None,
     cost_model: Optional[object] = None,
+    tuner: Optional["Tuner"] = None,
 ) -> CompiledModel:
     """Compile ``graph`` for ``machine`` under ``strategy``.
 
@@ -347,6 +356,12 @@ def compile(
             default) keeps the built-in roofline pricing; a non-default
             model folds its signature into the plan- and program-cache
             keys, so calibrated and default compiles never share entries.
+        tuner: A configured :class:`repro.tuner.Tuner` driving the
+            ``"auto"`` sweep — budget, process-pool width, and grid axes.
+            ``None`` keeps the default bounded sweep
+            (``TunerBudget(max_candidates=16)`` over the generated grid;
+            explicit ``candidates`` run unbounded, as they always have).
+            Rejected for explicit strategies.
 
     Returns:
         A :class:`CompiledModel`; its ``report`` carries the simulated
@@ -380,6 +395,7 @@ def compile(
                 simulate=simulate,
                 lower_only=lower_only,
                 candidates=candidates,
+                tuner=tuner,
             )
         token = cost_model_cache_token(model_override)
         if token is not None:
@@ -411,6 +427,12 @@ def compile(
             executor=executor,
             plan_options=plan_options,
             candidates=candidates,
+            tuner=tuner,
+        )
+    if tuner is not None:
+        raise StrategyError(
+            "tuner= configures the strategy='auto' sweep; an explicit "
+            "strategy has nothing to tune"
         )
     strategy = parse(strategy) if isinstance(strategy, str) else strategy
     if not isinstance(strategy, Strategy):
@@ -497,6 +519,11 @@ def compile(
 compile_model = compile
 
 
+# How many candidates the default (no ``tuner=``) auto sweep admits from
+# the generated grid — the historical auto sweep's size.
+AUTO_MAX_CANDIDATES = 16
+
+
 def _compile_auto(
     graph: Graph,
     machine: Topology,
@@ -505,50 +532,57 @@ def _compile_auto(
     executor: Optional[Executor],
     plan_options: Optional[Mapping[str, object]] = None,
     candidates: Optional[Sequence[Union[Strategy, str]]],
+    tuner: Optional["Tuner"] = None,
 ) -> CompiledModel:
-    """Compile every candidate strategy and keep the fastest non-OOM one."""
+    """Run the budgeted autotuner and return the fastest viable candidate."""
     from repro.planner.core import default_planner
+    from repro.tuner import Tuner, TunerBudget
 
     planner = planner or default_planner()
-    if candidates is None:
-        pool: List[Strategy] = auto_candidates(machine)
-    else:
-        pool = [parse(c) if isinstance(c, str) else c for c in candidates]
-    if not pool:
-        raise StrategyError("strategy='auto' needs at least one candidate")
-
-    best: Optional[CompiledModel] = None
+    if tuner is None:
+        # An explicit candidate list has always been evaluated in full;
+        # only the generated grid gets the historical 16-candidate cap.
+        budget = (
+            TunerBudget()
+            if candidates is not None
+            else TunerBudget(max_candidates=AUTO_MAX_CANDIDATES)
+        )
+        tuner = Tuner(budget=budget)
+    result = tuner.tune(
+        graph,
+        machine,
+        planner=planner,
+        executor=executor,
+        plan_options=plan_options,
+        candidates=candidates,
+    )
+    best = result.best
+    assert best is not None  # tune() raises when nothing is viable
+    # The legacy sweep record: one entry per attempted candidate (screened
+    # ones count as OOM with their reason; budget-skipped ones never ran
+    # and live only in metadata["tuner"]).
     sweep: List[Dict[str, object]] = []
-    for candidate in pool:
-        try:
-            model = compile(
-                graph,
-                candidate,
-                machine,
-                planner=planner,
-                executor=executor,
-                plan_options=plan_options,
+    for outcome in result.outcomes:
+        if outcome.status == "evaluated":
+            sweep.append(
+                {
+                    "strategy": outcome.strategy,
+                    "iteration_time": outcome.iteration_time,
+                    "oom": outcome.oom,
+                }
             )
-        except (StrategyError, ExecutionError, PartitionError) as exc:
-            sweep.append({"strategy": str(candidate), "error": str(exc)})
-            continue
-        sweep.append(
-            {
-                "strategy": model.strategy_text,
-                "iteration_time": model.iteration_time,
-                "oom": model.oom,
-            }
-        )
-        if model.oom:
-            continue
-        if best is None or model.iteration_time < best.iteration_time:
-            best = model
-    if best is None:
-        raise StrategyError(
-            "strategy='auto' found no executable candidate (all "
-            f"{len(pool)} candidates failed or exceeded device memory)"
-        )
+        elif outcome.status == "screened":
+            sweep.append(
+                {
+                    "strategy": outcome.strategy,
+                    "oom": True,
+                    "screened": outcome.reason,
+                }
+            )
+        elif outcome.status == "error":
+            sweep.append({"strategy": outcome.strategy, "error": outcome.reason})
     best.metadata["auto_sweep"] = sweep
+    best.metadata["tuner"] = result.to_dict()
     if executor is not None:
         # A profiling executor saw every candidate; re-snapshot so the
         # winner's profile covers the whole sweep.

@@ -16,15 +16,45 @@ parallel paths return bit-identical plans.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections import Counter
 from typing import List, Mapping, Optional, Sequence, Tuple
 
+from repro.errors import ReproError
 from repro.partition.plan import PartitionPlan, factorize_workers
 from repro.planner.backends import BackendSpec
 
 Factors = Tuple[int, ...]
 
 _MAX_CANDIDATES = 24
+
+# Environment override for the pool start method, so spawn-only behaviour
+# (macOS/Windows default, and what CI exercises explicitly) can be forced on
+# fork platforms too.
+START_METHOD_ENV = "TOFU_MP_START_METHOD"
+
+
+def mp_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every repro process pool runs under.
+
+    Defaults to ``fork`` where available (cheapest start, inherits warm
+    state) and ``spawn`` otherwise.  The ``TOFU_MP_START_METHOD``
+    environment variable overrides the choice (``fork`` / ``spawn`` /
+    ``forkserver``); an override naming a method the platform does not
+    support raises :class:`repro.errors.ReproError` instead of silently
+    falling back.  The planner's candidate search and the autotuner's
+    evaluation pool share this one decision.
+    """
+    methods = multiprocessing.get_all_start_methods()
+    override = os.environ.get(START_METHOD_ENV, "").strip()
+    if override:
+        if override not in methods:
+            raise ReproError(
+                f"{START_METHOD_ENV}={override!r} is not a start method this "
+                f"platform supports (available: {', '.join(methods)})"
+            )
+        return multiprocessing.get_context(override)
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
 def candidate_factorizations(
@@ -100,9 +130,7 @@ def search_candidates(
     options = dict(options)
     jobs = min(jobs, len(candidates))
     if jobs > 1:
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
+        ctx = mp_context()
         with ctx.Pool(
             processes=jobs,
             initializer=_init_worker,

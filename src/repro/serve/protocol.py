@@ -53,9 +53,13 @@ class CompileRequest:
 
     ``strategy`` is a :class:`Strategy` tree, its canonical string, or
     ``"auto"``; ``machine`` is optional exactly as in ``repro.compile``
-    (``num_workers`` sizes the default box).  ``request_id`` is an opaque
-    client token echoed back in the response so a pipelining client can
-    match out-of-order completions.
+    (``num_workers`` sizes the default box).  ``tuner`` configures the
+    ``"auto"`` sweep — a JSON object of ``max_candidates`` /
+    ``max_seconds`` / ``jobs``, applied as a
+    :class:`repro.tuner.TunerBudget` plus pool width; ``None`` keeps the
+    default bounded sweep.  ``request_id`` is an opaque client token echoed
+    back in the response so a pipelining client can match out-of-order
+    completions.
     """
 
     graph: Graph
@@ -65,6 +69,7 @@ class CompileRequest:
     plan_options: Optional[Dict[str, object]] = None
     backend_options: Optional[Dict[str, object]] = None
     simulate: bool = True
+    tuner: Optional[Dict[str, object]] = None
     request_id: Optional[str] = None
 
     def strategy_text(self) -> str:
@@ -85,9 +90,12 @@ class CompileRequest:
 
         Covers every input that can change the compiled artefact: graph
         content, canonical strategy, machine model, worker count, planner
-        and backend options, and the simulate flag.  Raises ``TypeError``
-        for non-JSON-serialisable options (such requests cannot be deduped
-        and run unshared).
+        and backend options, the simulate flag, and (when set) the tuner
+        options — tuned and default auto sweeps can pick different winners,
+        so they must not dedup onto one key.  The field is folded in only
+        when present, keeping every pre-tuner key stable.  Raises
+        ``TypeError`` for non-JSON-serialisable options (such requests
+        cannot be deduped and run unshared).
         """
         return content_key(
             {
@@ -98,6 +106,9 @@ class CompileRequest:
                 "plan_options": self.plan_options,
                 "backend_options": self.backend_options,
                 "simulate": bool(self.simulate),
+                **(
+                    {"tuner": self.tuner} if self.tuner is not None else {}
+                ),
             }
         )
 
@@ -153,6 +164,7 @@ def request_to_wire(request: CompileRequest) -> Dict[str, object]:
         "plan_options": request.plan_options,
         "backend_options": request.backend_options,
         "simulate": bool(request.simulate),
+        "tuner": request.tuner,
         "id": request.request_id,
     }
 
@@ -187,6 +199,7 @@ def request_from_wire(payload: Mapping[str, object]) -> CompileRequest:
         plan_options=payload.get("plan_options"),
         backend_options=payload.get("backend_options"),
         simulate=bool(payload.get("simulate", True)),
+        tuner=payload.get("tuner"),
         request_id=payload.get("id"),
     )
 

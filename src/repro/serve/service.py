@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro import compiler, perf
-from repro.errors import ReproError
+from repro.errors import ReproError, StrategyError
 from repro.planner.core import Planner, PlannerConfig
 from repro.runtime.cache import ProgramCache
 from repro.runtime.core import Executor, ExecutorConfig
@@ -183,6 +183,25 @@ class CompileService:
         with self._lock:
             self._inflight.pop(key, None)
 
+    @staticmethod
+    def _build_tuner(request: CompileRequest):
+        """The :class:`repro.tuner.Tuner` a request's ``tuner`` options ask
+        for (``None`` when unset).  ``jobs`` is the pool width; the rest is
+        a :class:`repro.tuner.TunerBudget` payload.  A tuner on a non-auto
+        strategy is handed through to ``compile`` unfiltered, so the caller
+        gets its structured error back."""
+        if request.tuner is None:
+            return None
+        from repro.tuner import Tuner, TunerBudget
+
+        options = dict(request.tuner)
+        raw_jobs = options.pop("jobs", 1)
+        try:
+            jobs = int(raw_jobs)
+        except (TypeError, ValueError):
+            raise StrategyError(f"tuner jobs must be an integer, got {raw_jobs!r}")
+        return Tuner(budget=TunerBudget.from_dict(options), jobs=jobs)
+
     # --------------------------------------------------------------- compile
     def _compile(self, request: CompileRequest, key: str) -> CompileResponse:
         start = time.perf_counter()
@@ -201,6 +220,7 @@ class CompileService:
                 plan_options=request.plan_options,
                 backend_options=request.backend_options,
                 simulate=request.simulate,
+                tuner=self._build_tuner(request),
             )
             payload = model.to_dict()
             status, error = "ok", None

@@ -1,0 +1,37 @@
+"""The budgeted strategy autotuner (what ``strategy="auto"`` runs on).
+
+Where the original auto sweep fully simulated a fixed 16-candidate list one
+by one, this package searches the whole strategy algebra — machine scopes ×
+replica groups × pipeline stages × micro-batch counts × schedules × search
+backends — in three stages: cheap memory **screening** (a static footprint
+estimate plus a ``lower_only`` compile whose per-device memory report is
+checked against capacity), budgeted **search** (survivors fully simulated,
+optionally fanned across a process pool whose plan/program cache entries
+merge back into the caller's caches), and **ranking** (a Pareto frontier
+over iteration time, peak device memory, and machine count, with the
+incumbent best available mid-search).
+
+Entry points: :class:`Tuner` / :class:`TunerBudget` programmatically,
+``repro.compile(graph, "auto", tuner=Tuner(...))`` on the compile path, and
+``tofu-repro tune`` on the command line.
+"""
+
+from repro.tuner.budget import TunerBudget
+from repro.tuner.candidates import (
+    aligned_replica_groups,
+    machine_compute_profile,
+    tuner_candidates,
+)
+from repro.tuner.core import Tuner
+from repro.tuner.result import CandidateOutcome, TunerResult, pareto_frontier
+
+__all__ = [
+    "CandidateOutcome",
+    "Tuner",
+    "TunerBudget",
+    "TunerResult",
+    "aligned_replica_groups",
+    "machine_compute_profile",
+    "pareto_frontier",
+    "tuner_candidates",
+]

@@ -1,0 +1,83 @@
+"""Search budgets for the autotuner.
+
+A budget bounds the design-space sweep two ways: **candidates** (how many
+strategies may be screened and evaluated — deterministic: the same budget on
+the same machine always decides the same candidate set) and **wall-clock**
+(a soft deadline checked between candidates — best-effort: what finishes in
+time depends on the host).  Both may be combined; an unbounded budget
+evaluates the full generated grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import StrategyError
+
+__all__ = ["TunerBudget"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TunerBudget:
+    """How much searching the tuner may do.
+
+    ``max_candidates`` caps how many strategies enter the staged evaluation
+    (the generated grid is truncated in its deterministic order, so a
+    candidate budget alone keeps serial and process-pool runs bit-identical).
+    ``max_seconds`` is a wall-clock deadline checked between candidates:
+    candidates not started by the deadline are reported as skipped, never
+    silently dropped.  ``None`` means unbounded on that axis.
+    """
+
+    max_candidates: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_candidates is not None and self.max_candidates < 1:
+            raise StrategyError(
+                f"TunerBudget.max_candidates must be >= 1, got "
+                f"{self.max_candidates}"
+            )
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise StrategyError(
+                f"TunerBudget.max_seconds must be > 0, got {self.max_seconds}"
+            )
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether the budget decides the same candidates on every run
+        (true exactly when no wall-clock deadline is set)."""
+        return self.max_seconds is None
+
+    def split(self, pool: Sequence[T]) -> Tuple[List[T], List[T]]:
+        """``(admitted, cut)``: the candidates inside and beyond the
+        candidate budget, in the pool's original order."""
+        if self.max_candidates is None or len(pool) <= self.max_candidates:
+            return list(pool), []
+        return list(pool[: self.max_candidates]), list(pool[self.max_candidates:])
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (used in results and wire requests)."""
+        return {
+            "max_candidates": self.max_candidates,
+            "max_seconds": self.max_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> "TunerBudget":
+        """Rebuild a budget from :meth:`to_dict` output (``None`` → unbounded)."""
+        payload = payload or {}
+        known = {"max_candidates", "max_seconds"}
+        unknown = set(payload) - known
+        if unknown:
+            raise StrategyError(
+                f"unknown TunerBudget field(s): {sorted(unknown)} "
+                f"(expected {sorted(known)})"
+            )
+        return cls(
+            max_candidates=payload.get("max_candidates"),
+            max_seconds=payload.get("max_seconds"),
+        )

@@ -119,6 +119,33 @@ class TestCLI:
         assert "candidate sweep" in out
         assert "dp:2/tofu" in out
 
+    def test_tune_command(self, capsys):
+        assert cli_main(["tune", "--model", "mlp", "--batch", "16",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--max-candidates", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "pareto frontier" in out
+        assert "throughput" in out
+
+    def test_tune_command_profile_prints_tuner_stages(self, capsys):
+        assert cli_main(["tune", "--model", "mlp", "--batch", "16",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--max-candidates", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "tuner.screen" in out
+        assert "tuner.rank" in out
+
+    def test_tune_command_save_round_trips(self, tmp_path, capsys):
+        path = tmp_path / "best.json"
+        assert cli_main(["tune", "--model", "mlp", "--batch", "16",
+                         "--hidden", "128", "--layers", "2", "--workers", "4",
+                         "--max-candidates", "4", "--save", str(path)]) == 0
+        assert "saved:" in capsys.readouterr().out
+        from repro.compiler import CompiledModel
+
+        assert CompiledModel.load(str(path)).iteration_time > 0
+
     def test_compile_command_save(self, tmp_path, capsys):
         path = tmp_path / "model.json"
         assert cli_main(["compile", "--model", "mlp", "--batch", "32",

@@ -3,7 +3,7 @@
 Accidentally dropping (or silently adding) a public name is an API break for
 downstream users; this test pins the ``__all__`` of ``repro``,
 ``repro.strategy``, ``repro.planner``, ``repro.runtime``, ``repro.serve``,
-``repro.costmodel`` and ``repro.analysis`` against a checked-in list so CI fails on any
+``repro.costmodel``, ``repro.analysis`` and ``repro.tuner`` against a checked-in list so CI fails on any
 unreviewed change.  When a change is intentional, update the snapshot here
 *and* the README migration notes.
 
@@ -194,6 +194,17 @@ COSTMODEL_EXPORTS = [
     "write_report",
 ]
 
+TUNER_EXPORTS = [
+    "CandidateOutcome",
+    "Tuner",
+    "TunerBudget",
+    "TunerResult",
+    "aligned_replica_groups",
+    "machine_compute_profile",
+    "pareto_frontier",
+    "tuner_candidates",
+]
+
 SNAPSHOTS = {
     "repro": REPRO_EXPORTS,
     "repro.strategy": STRATEGY_EXPORTS,
@@ -202,6 +213,7 @@ SNAPSHOTS = {
     "repro.serve": SERVE_EXPORTS,
     "repro.costmodel": COSTMODEL_EXPORTS,
     "repro.analysis": ANALYSIS_EXPORTS,
+    "repro.tuner": TUNER_EXPORTS,
 }
 
 

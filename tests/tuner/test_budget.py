@@ -1,0 +1,53 @@
+"""TunerBudget semantics: validation, determinism, the admit/cut split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.tuner import TunerBudget
+
+
+class TestValidation:
+    def test_unbounded_by_default(self):
+        budget = TunerBudget()
+        assert budget.max_candidates is None
+        assert budget.max_seconds is None
+        assert budget.deterministic
+
+    def test_rejects_zero_candidates(self):
+        with pytest.raises(StrategyError, match="max_candidates"):
+            TunerBudget(max_candidates=0)
+
+    def test_rejects_non_positive_seconds(self):
+        with pytest.raises(StrategyError, match="max_seconds"):
+            TunerBudget(max_seconds=0.0)
+
+    def test_wall_clock_budget_is_not_deterministic(self):
+        assert not TunerBudget(max_seconds=10.0).deterministic
+        assert TunerBudget(max_candidates=4).deterministic
+
+
+class TestSplit:
+    def test_split_truncates_in_order(self):
+        admitted, cut = TunerBudget(max_candidates=2).split(["a", "b", "c", "d"])
+        assert admitted == ["a", "b"]
+        assert cut == ["c", "d"]
+
+    def test_split_without_cap_admits_everything(self):
+        admitted, cut = TunerBudget().split(["a", "b"])
+        assert admitted == ["a", "b"]
+        assert cut == []
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        budget = TunerBudget(max_candidates=8, max_seconds=1.5)
+        assert TunerBudget.from_dict(budget.to_dict()) == budget
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(StrategyError, match="unknown TunerBudget field"):
+            TunerBudget.from_dict({"max_candidates": 4, "jobs": 2})
+
+    def test_from_none_is_unbounded(self):
+        assert TunerBudget.from_dict(None) == TunerBudget()

@@ -66,6 +66,7 @@ LAYERS = [
     "planner",
     "analysis",
     "compiler",
+    "tuner",
     "serve",
     "api",
     "cli",
